@@ -1,0 +1,385 @@
+// Package scoop's root benchmarks regenerate the paper's evaluation: one
+// benchmark per table/figure (printing its rows once per run and reporting
+// headline numbers as custom metrics), plus the ablation micro-benchmarks
+// DESIGN.md calls out (row vs column filter cost, pushdown engine overhead,
+// staging).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package scoop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"scoop/internal/cluster"
+	"scoop/internal/core"
+	"scoop/internal/datasource"
+	"scoop/internal/experiment"
+	"scoop/internal/objectstore"
+	"scoop/internal/pushdown"
+	"scoop/internal/sql/parser"
+	"scoop/internal/storlet"
+	"scoop/internal/storlet/aggfilter"
+	"scoop/internal/storlet/csvfilter"
+)
+
+var (
+	envOnce sync.Once
+	env     *experiment.Env
+	envErr  error
+)
+
+// benchEnv builds the shared laptop-scale environment once.
+func benchEnv(b *testing.B) *experiment.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env, envErr = experiment.NewEnv(experiment.SmallScale())
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+// printOnce writes an experiment's full table output a single time per
+// benchmark run so `go test -bench` output doubles as figure regeneration.
+func printOnce(b *testing.B, name string, fn func(w io.Writer) error) {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("%s:\n%s", name, buf.String())
+}
+
+// BenchmarkFig1IngestScaling regenerates Fig. 1 (baseline time linear in
+// dataset size) and times the model evaluation.
+func BenchmarkFig1IngestScaling(b *testing.B) {
+	printOnce(b, "Fig. 1", experiment.Fig1)
+	tb := cluster.OSIC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, gbs := range []float64{50, 500, 3000} {
+			_ = tb.BaselineTime(cluster.Workload{DatasetBytes: gbs * experiment.GB, Selectivity: 0.9, Type: cluster.Mixed})
+		}
+	}
+}
+
+// BenchmarkTable1GridPocketSelectivities regenerates Table I on the real
+// path and times one full query (ShowPiemonth) per iteration.
+func BenchmarkTable1GridPocketSelectivities(b *testing.B) {
+	e := benchEnv(b)
+	printOnce(b, "Table I", func(w io.Writer) error { return experiment.Table1(w, e) })
+	q := experiment.GridPocketQueries[4] // ShowPiemonth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Scoop.Query(q.SQL, core.QueryOptions{Mode: core.ModePushdown}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5SelectivitySweep regenerates Fig. 5 and times a mid-
+// selectivity pushdown query on the real path.
+func BenchmarkFig5SelectivitySweep(b *testing.B) {
+	e := benchEnv(b)
+	printOnce(b, "Fig. 5", func(w io.Writer) error { return experiment.Fig5(w, e) })
+	bound := e.Gen.RowSelectivityPredicate(0.5)
+	sql := fmt.Sprintf("SELECT vid, index FROM largeMeter WHERE vid < '%s'", bound)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Scoop.Query(sql, core.QueryOptions{Mode: core.ModePushdown})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Metrics.BytesIngested), "bytes-ingested")
+		}
+	}
+}
+
+// BenchmarkFig6HighSelectivity regenerates Fig. 6 and reports the model's
+// 3TB/99.99% row-selectivity speedup as a metric (paper: up to ~31x).
+func BenchmarkFig6HighSelectivity(b *testing.B) {
+	printOnce(b, "Fig. 6", experiment.Fig6)
+	tb := cluster.OSIC()
+	w := cluster.Workload{DatasetBytes: 3 * experiment.TB, Selectivity: 0.9999, Type: cluster.Row}
+	b.ReportMetric(tb.Speedup(w), "S_Q-3TB-99.99%")
+	for i := 0; i < b.N; i++ {
+		_ = tb.Speedup(w)
+	}
+}
+
+// BenchmarkFig7GridPocketQueries regenerates Fig. 7 and times the full
+// seven-query workload in pushdown mode.
+func BenchmarkFig7GridPocketQueries(b *testing.B) {
+	e := benchEnv(b)
+	printOnce(b, "Fig. 7", func(w io.Writer) error { return experiment.Fig7(w, e) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range experiment.GridPocketQueries {
+			if _, err := e.Scoop.Query(q.SQL, core.QueryOptions{Mode: core.ModePushdown}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8ScoopVsParquet regenerates Fig. 8 (model + real transfer
+// comparison) and times the model sweep.
+func BenchmarkFig8ScoopVsParquet(b *testing.B) {
+	e := benchEnv(b)
+	printOnce(b, "Fig. 8", func(w io.Writer) error { return experiment.Fig8(w, e) })
+	tb := cluster.OSIC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for sel := 0.0; sel < 1; sel += 0.1 {
+			w := cluster.Workload{DatasetBytes: 50 * experiment.GB, Selectivity: sel, Type: cluster.Column}
+			_ = tb.ParquetSpeedup(w)
+			_ = tb.Speedup(w)
+		}
+	}
+}
+
+// BenchmarkFig9ResourceUsage regenerates Fig. 9 and reports the modeled
+// compute CPU-seconds reduction.
+func BenchmarkFig9ResourceUsage(b *testing.B) {
+	e := benchEnv(b)
+	printOnce(b, "Fig. 9", func(w io.Writer) error { return experiment.Fig9(w, e) })
+	tb := cluster.OSIC()
+	w := cluster.Workload{DatasetBytes: 3 * experiment.TB, Selectivity: 0.99, Type: cluster.Mixed}
+	base := tb.UsageFor(w, cluster.Baseline)
+	push := tb.UsageFor(w, cluster.Pushdown)
+	b.ReportMetric(100*(1-push.ComputeCPUSeconds/base.ComputeCPUSeconds), "cpu-sec-saved-%")
+	for i := 0; i < b.N; i++ {
+		_ = tb.UsageFor(w, cluster.Pushdown)
+	}
+}
+
+// BenchmarkFig10StorageCPU regenerates Fig. 10 and reports the modeled
+// storage-node CPU under pushdown (paper: ≈23.5%).
+func BenchmarkFig10StorageCPU(b *testing.B) {
+	e := benchEnv(b)
+	printOnce(b, "Fig. 10", func(w io.Writer) error { return experiment.Fig10(w, e) })
+	tb := cluster.OSIC()
+	w := cluster.Workload{DatasetBytes: 3 * experiment.TB, Selectivity: 0.99, Type: cluster.Mixed}
+	b.ReportMetric(tb.UsageFor(w, cluster.Pushdown).StorageCPUPct, "storage-cpu-%")
+	for i := 0; i < b.N; i++ {
+		_ = tb.UsageFor(w, cluster.Pushdown)
+	}
+}
+
+// --- ablation micro-benchmarks (DESIGN.md §4) ---
+
+// benchCSVData is a ~1 MB CSV block for filter throughput benches.
+var benchCSVData = func() []byte {
+	var buf bytes.Buffer
+	for i := 0; buf.Len() < 1<<20; i++ {
+		fmt.Fprintf(&buf, "V%06d,2015-01-%02d 00:10:00,%d.25,%d.50,%d.75,elec,Rotterdam,NED,51.9225,4.4792\n",
+			i%1000, 1+i%28, i, i/2, i/3)
+	}
+	return buf.Bytes()
+}()
+
+const benchSchema = "vid string, date string, index double, sumHC double, sumHP double, type string, city string, state string, lat double, long double"
+
+func runCSVFilter(b *testing.B, task *pushdown.Task) {
+	b.Helper()
+	f := csvfilter.New()
+	ctx := &storlet.Context{
+		Task:     task,
+		RangeEnd: int64(len(benchCSVData)), ObjectSize: int64(len(benchCSVData)),
+	}
+	b.SetBytes(int64(len(benchCSVData)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Invoke(ctx, bytes.NewReader(benchCSVData), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSVFilterRowSelectivity measures storlet throughput when a
+// selection discards ~99.9% of rows — the cheap case the paper observes.
+func BenchmarkCSVFilterRowSelectivity(b *testing.B) {
+	runCSVFilter(b, &pushdown.Task{
+		Filter: "csv", Schema: benchSchema,
+		Predicates: []pushdown.Predicate{{Column: "vid", Op: pushdown.OpEq, Value: "V000007"}},
+	})
+}
+
+// BenchmarkCSVFilterColumnSelectivity measures throughput when all rows are
+// kept but only 2 of 10 columns are emitted — output re-assembly cost.
+func BenchmarkCSVFilterColumnSelectivity(b *testing.B) {
+	runCSVFilter(b, &pushdown.Task{
+		Filter: "csv", Schema: benchSchema,
+		Columns: []string{"vid", "index"},
+	})
+}
+
+// BenchmarkCSVFilterMixed measures the combined case.
+func BenchmarkCSVFilterMixed(b *testing.B) {
+	runCSVFilter(b, &pushdown.Task{
+		Filter: "csv", Schema: benchSchema,
+		Columns:    []string{"vid", "index"},
+		Predicates: []pushdown.Predicate{{Column: "city", Op: pushdown.OpLike, Value: "Rot%"}},
+	})
+}
+
+// BenchmarkCSVFilterPassthrough measures the zero-selectivity penalty: the
+// filter runs but discards nothing (paper: worst-case -3.4%).
+func BenchmarkCSVFilterPassthrough(b *testing.B) {
+	runCSVFilter(b, &pushdown.Task{Filter: "csv", Schema: benchSchema})
+}
+
+// BenchmarkQueryPushdown and BenchmarkQueryBaseline time the same end-to-end
+// query in both modes on the real system.
+func BenchmarkQueryPushdown(b *testing.B) {
+	benchQuery(b, core.ModePushdown)
+}
+
+// BenchmarkQueryBaseline is the ingest-then-compute twin of the above.
+func BenchmarkQueryBaseline(b *testing.B) {
+	benchQuery(b, core.ModeBaseline)
+}
+
+func benchQuery(b *testing.B, mode core.Mode) {
+	e := benchEnv(b)
+	q := experiment.GridPocketQueries[5].SQL // ShowGraphHCHP
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Scoop.Query(q, core.QueryOptions{Mode: mode}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStagingObjectVsProxy is the staging ablation: the same filtered
+// GET executed at the object node versus at the proxy tier (paper §V added
+// object-node staging specifically to exploit the larger node pool and
+// avoid moving full objects to proxies).
+func BenchmarkStagingObjectVsProxy(b *testing.B) {
+	e := benchEnv(b)
+	client := e.Scoop.Client()
+	account := e.Scoop.Account()
+	for _, stage := range []string{pushdown.StageObject, pushdown.StageProxy} {
+		b.Run(stage, func(b *testing.B) {
+			task := &pushdown.Task{
+				Filter: "csv", Schema: benchSchema,
+				Columns: []string{"vid"},
+				Stage:   stage,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rc, _, err := client.GetObject(account, "meters", "part-0000.csv",
+					objectstore.GetOptions{Pushdown: []*pushdown.Task{task}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, rc); err != nil {
+					b.Fatal(err)
+				}
+				rc.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAggregationPushdown is the §IV "aggregation at the store"
+// ablation: the same GROUP BY computed via filter pushdown (every matching
+// row travels) versus aggregation pushdown (one partial record per group
+// per split travels). Reported metric: bytes moved per mode.
+func BenchmarkAggregationPushdown(b *testing.B) {
+	e := benchEnv(b)
+	q := "SELECT vid, sum(index) AS s, count(*) AS n FROM largeMeter GROUP BY vid ORDER BY vid"
+	specs := []aggfilter.Spec{{Func: aggfilter.Sum, Column: "index"}, {Func: aggfilter.Count, Column: "*"}}
+	b.Run("filter-pushdown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := e.Scoop.Query(q, core.QueryOptions{Mode: core.ModePushdown})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.Metrics.BytesIngested), "bytes-moved")
+			}
+		}
+	})
+	b.Run("aggregation-pushdown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := e.Scoop.AggregateQuery("largeMeter", []string{"vid"}, specs, nil, core.QueryOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.Metrics.BytesIngested), "bytes-moved")
+			}
+		}
+	})
+}
+
+// BenchmarkCompressedTransfer is the §VII filtering+compression ablation:
+// the same pruned scan with and without DEFLATE on the wire.
+func BenchmarkCompressedTransfer(b *testing.B) {
+	b.Run("plain", func(b *testing.B) { benchTransfer(b, false) })
+	b.Run("compressed", func(b *testing.B) { benchTransfer(b, true) })
+}
+
+func benchTransfer(b *testing.B, compress bool) {
+	e := benchEnv(b)
+	rel, err := datasource.NewCSV(e.Scoop.Connector(), "meters", "", benchSchema,
+		datasource.CSVOptions{Pushdown: true, CompressTransfer: compress})
+	if err != nil {
+		b.Fatal(err)
+	}
+	splits, err := rel.Splits()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Scoop.Connector().ResetStats()
+		for _, s := range splits {
+			it, err := rel.ScanPruned(s, []string{"vid", "index"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, err := it.Next(); err != nil {
+					break
+				}
+			}
+			it.Close()
+		}
+		if i == 0 {
+			b.ReportMetric(float64(e.Scoop.Connector().Stats().BytesIngested), "bytes-moved")
+		}
+	}
+}
+
+// BenchmarkSQLParse times parsing of the heaviest Table I query.
+func BenchmarkSQLParse(b *testing.B) {
+	q := experiment.GridPocketQueries[5].SQL
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLikeMatch times the storage-side LIKE matcher on a dense input.
+func BenchmarkLikeMatch(b *testing.B) {
+	p := pushdown.Predicate{Column: "date", Op: pushdown.OpLike, Value: "2015-01-%"}
+	s := strings.Repeat("2015-01-17 10:20:00", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Matches(s, false) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Command scoop-admin performs administrative operations against a running
+// store (scoopd): container management, storlet-manifest deployment (PUT a
+// manifest object into the reserved .storlets container), and stats.
+//
+// Usage:
+//
+//	scoop-admin -store http://localhost:8080 containers gp
+//	scoop-admin -store http://localhost:8080 create-container gp meters
+//	scoop-admin -store http://localhost:8080 delete-container gp meters
+//	scoop-admin -store http://localhost:8080 list gp meters [prefix]
+//	scoop-admin -store http://localhost:8080 deploy gp my-filter.json
+//	scoop-admin -store http://localhost:8080 stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scoop/internal/objectstore"
+	"scoop/internal/storlet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scoop-admin:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	store := flag.String("store", "http://localhost:8080", "store URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		return fmt.Errorf("missing command (containers, create-container, delete-container, list, deploy, sync, stats)")
+	}
+	client := objectstore.NewHTTPClient(*store)
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "containers":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: containers <account>")
+		}
+		names, err := client.ListContainers(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	case "create-container":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: create-container <account> <container>")
+		}
+		err := client.CreateContainer(rest[0], rest[1], nil)
+		if err == objectstore.ErrContainerExists {
+			fmt.Println("already exists")
+			return nil
+		}
+		return err
+	case "delete-container":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: delete-container <account> <container>")
+		}
+		return client.DeleteContainer(rest[0], rest[1])
+	case "list":
+		if len(rest) < 2 || len(rest) > 3 {
+			return fmt.Errorf("usage: list <account> <container> [prefix]")
+		}
+		prefix := ""
+		if len(rest) == 3 {
+			prefix = rest[2]
+		}
+		objects, err := client.ListObjects(rest[0], rest[1], prefix)
+		if err != nil {
+			return err
+		}
+		for _, o := range objects {
+			fmt.Printf("%-40s %10d  %s\n", o.Name, o.Size, o.ETag)
+		}
+		return nil
+	case "deploy":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: deploy <account> <manifest.json>")
+		}
+		return deploy(client, rest[0], rest[1])
+	case "sync":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: sync <account>")
+		}
+		resp, err := http.Post(strings.TrimRight(*store, "/")+"/admin/deploy?account="+rest[0], "", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("sync: http %d: %s", resp.StatusCode, body)
+		}
+		fmt.Print(string(body))
+		return nil
+	case "stats":
+		return stats(*store)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// deploy validates the manifest locally, stores it in the .storlets
+// container, and reminds the operator how the engine picks it up.
+func deploy(client *objectstore.HTTPClient, account, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// Local validation before upload: a scratch engine parses it.
+	var m storlet.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("invalid manifest: %w", err)
+	}
+	if m.Name == "" {
+		return fmt.Errorf("manifest missing name")
+	}
+	err = client.CreateContainer(account, objectstore.StorletContainer, nil)
+	if err != nil && err != objectstore.ErrContainerExists {
+		return err
+	}
+	name := filepath.Base(path)
+	info, err := client.PutObject(account, objectstore.StorletContainer, name, strings.NewReader(string(data)), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed %s as %s/%s (%d bytes)\n", m.Name, objectstore.StorletContainer, name, info.Size)
+	fmt.Println("run `scoop-admin sync <account>` to load it into the running engine")
+	return nil
+}
+
+func stats(store string) error {
+	resp, err := http.Get(strings.TrimRight(store, "/") + "/admin/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("stats endpoint: http %d: %s", resp.StatusCode, body)
+	}
+	var pretty map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&pretty); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(pretty, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

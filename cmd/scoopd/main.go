@@ -1,0 +1,72 @@
+// Command scoopd runs a Scoop object store over HTTP: an in-process cluster
+// of proxies and object nodes (with the CSV pushdown filter and the ETL
+// filters deployed) behind a Swift-style REST API.
+//
+// Usage:
+//
+//	scoopd -addr :8080 -proxies 2 -nodes 4 -replicas 3
+//
+// Then, for example:
+//
+//	curl -X PUT http://localhost:8080/v1/gp/meters
+//	curl -X PUT --data-binary @data.csv http://localhost:8080/v1/gp/meters/jan.csv
+//	curl -H "X-Scoop-Pushdown: $(scoop-sql -encode-task ...)" \
+//	     http://localhost:8080/v1/gp/meters/jan.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"scoop/internal/objectstore"
+	"scoop/internal/storlet"
+	"scoop/internal/storlet/aggfilter"
+	"scoop/internal/storlet/compressfilter"
+	"scoop/internal/storlet/csvfilter"
+	"scoop/internal/storlet/etl"
+	"scoop/internal/storlet/jsonfilter"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	proxies := flag.Int("proxies", 2, "proxy server count")
+	nodes := flag.Int("nodes", 4, "object server count")
+	disks := flag.Int("disks", 2, "disks per object server")
+	replicas := flag.Int("replicas", 3, "object replica count")
+	timeout := flag.Duration("filter-timeout", 5*time.Minute, "per-invocation filter timeout")
+	dataDir := flag.String("data-dir", "", "persist objects under this directory (default: in-memory)")
+	flag.Parse()
+
+	cluster, err := objectstore.NewCluster(objectstore.ClusterConfig{
+		Proxies:      *proxies,
+		ObjectNodes:  *nodes,
+		DisksPerNode: *disks,
+		Replicas:     *replicas,
+		Limits:       storlet.Limits{Timeout: *timeout},
+		DataDir:      *dataDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoopd:", err)
+		os.Exit(1)
+	}
+	for _, f := range []storlet.Filter{csvfilter.New(), etl.NewCleanse(), etl.NewSplit(), compressfilter.New(), aggfilter.New(), jsonfilter.New()} {
+		if err := cluster.Engine().Register(f); err != nil {
+			fmt.Fprintln(os.Stderr, "scoopd:", err)
+			os.Exit(1)
+		}
+	}
+	log.Printf("scoopd: %d proxies, %d object nodes (%d disks each), %d replicas",
+		*proxies, *nodes, *disks, *replicas)
+	log.Printf("scoopd: filters deployed: %v", cluster.Engine().Names())
+	mux := http.NewServeMux()
+	mux.Handle("/", objectstore.NewHandler(cluster.Client()))
+	mux.Handle("/admin/", objectstore.NewAdminHandler(cluster))
+	log.Printf("scoopd: listening on %s (admin at /admin/stats, /admin/deploy)", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module scoop
+
+go 1.22

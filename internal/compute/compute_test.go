@@ -1,0 +1,184 @@
+package compute
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCollectsInOrder(t *testing.T) {
+	d, err := NewDriver(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(context.Context) (any, error) { return i * i, nil }
+	}
+	res, stats, err := d.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res {
+		if v.(int) != i*i {
+			t.Errorf("res[%d] = %v", i, v)
+		}
+	}
+	if stats.Tasks != 10 || stats.Attempts != 10 || stats.Failures != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	d, _ := NewDriver(DefaultConfig())
+	res, stats, err := d.Run(nil, nil)
+	if err != nil || len(res) != 0 || stats.Tasks != 0 {
+		t.Errorf("empty run: %v %+v %v", res, stats, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewDriver(Config{Workers: 0}); err == nil {
+		t.Error("0 workers should fail")
+	}
+	if _, err := NewDriver(Config{Workers: 1, Retries: -1}); err == nil {
+		t.Error("negative retries should fail")
+	}
+	d, _ := NewDriver(Config{Workers: 7})
+	if d.Workers() != 7 {
+		t.Error("Workers()")
+	}
+}
+
+func TestRetrySucceeds(t *testing.T) {
+	d, _ := NewDriver(Config{Workers: 2, Retries: 2})
+	var calls atomic.Int64
+	flaky := func(context.Context) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return "ok", nil
+	}
+	res, stats, err := d.Run(context.Background(), []Task{flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "ok" || stats.Attempts != 3 || stats.Failures != 2 {
+		t.Errorf("res=%v stats=%+v", res, stats)
+	}
+}
+
+func TestRetryExhaustedFailsJob(t *testing.T) {
+	d, _ := NewDriver(Config{Workers: 2, Retries: 1})
+	bad := func(context.Context) (any, error) { return nil, errors.New("disk gone") }
+	good := func(context.Context) (any, error) { return 1, nil }
+	_, stats, err := d.Run(context.Background(), []Task{good, bad, good})
+	if err == nil {
+		t.Fatal("job should fail")
+	}
+	if stats.Failures < 2 { // 2 attempts of the bad task
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestFailureCancelsPeers(t *testing.T) {
+	d, _ := NewDriver(Config{Workers: 2, Retries: 0})
+	var cancelled atomic.Bool
+	slow := func(ctx context.Context) (any, error) {
+		select {
+		case <-ctx.Done():
+			cancelled.Store(true)
+			return nil, ctx.Err()
+		case <-time.After(2 * time.Second):
+			return nil, nil
+		}
+	}
+	bad := func(context.Context) (any, error) { return nil, errors.New("boom") }
+	start := time.Now()
+	_, _, err := d.Run(context.Background(), []Task{slow, bad})
+	if err == nil {
+		t.Fatal("job should fail")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("failure did not cancel the slow peer promptly")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	d, _ := NewDriver(Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := []Task{
+		func(context.Context) (any, error) { cancel(); return 1, nil },
+		func(context.Context) (any, error) { return 2, nil },
+		func(context.Context) (any, error) { return 3, nil },
+	}
+	_, _, err := d.Run(ctx, tasks)
+	if err == nil {
+		t.Error("cancelled job should report an error")
+	}
+}
+
+func TestParallelismBound(t *testing.T) {
+	const workers = 3
+	d, _ := NewDriver(Config{Workers: workers})
+	var cur, max atomic.Int64
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		tasks[i] = func(context.Context) (any, error) {
+			n := cur.Add(1)
+			for {
+				m := max.Load()
+				if n <= m || max.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil, nil
+		}
+	}
+	if _, _, err := d.Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Errorf("max parallelism = %d, want <= %d", got, workers)
+	}
+}
+
+func TestBusyTimeAccounted(t *testing.T) {
+	d, _ := NewDriver(Config{Workers: 2})
+	tasks := []Task{
+		func(context.Context) (any, error) { time.Sleep(10 * time.Millisecond); return nil, nil },
+		func(context.Context) (any, error) { time.Sleep(10 * time.Millisecond); return nil, nil },
+	}
+	_, stats, err := d.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BusyTime < 15*time.Millisecond {
+		t.Errorf("busy = %v", stats.BusyTime)
+	}
+	if stats.WallTime <= 0 {
+		t.Errorf("wall = %v", stats.WallTime)
+	}
+}
+
+func TestManyTasksFewWorkers(t *testing.T) {
+	d, _ := NewDriver(Config{Workers: 2})
+	tasks := make([]Task, 200)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(context.Context) (any, error) { return fmt.Sprint(i), nil }
+	}
+	res, _, err := d.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[199].(string) != "199" {
+		t.Errorf("res[199] = %v", res[199])
+	}
+}

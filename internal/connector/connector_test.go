@@ -1,0 +1,163 @@
+package connector
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"scoop/internal/objectstore"
+	"scoop/internal/pushdown"
+	"scoop/internal/storlet/csvfilter"
+)
+
+const meterCSV = "V1,2015-01-01,10.5,Rotterdam,NED\n" +
+	"V2,2015-01-01,5.25,Paris,FRA\n" +
+	"V3,2015-01-01,1.0,Kyiv,UKR\n"
+
+func newStore(t *testing.T) objectstore.Client {
+	t.Helper()
+	c, err := objectstore.NewCluster(objectstore.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Engine().Register(csvfilter.New()); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestDiscoverPartitions(t *testing.T) {
+	cl := newStore(t)
+	conn := New(cl, "gp", 40)
+	if _, err := conn.Upload("meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Upload("meters", "feb.csv", strings.NewReader(meterCSV[:33])); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := conn.DiscoverPartitions("meters", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// feb.csv (33B) -> 1 split; jan.csv (99B) -> 3 splits of <=40B.
+	if len(splits) != 4 {
+		t.Fatalf("splits = %v", splits)
+	}
+	var total int64
+	for _, s := range splits {
+		if s.End <= s.Start {
+			t.Errorf("empty split %v", s)
+		}
+		total += s.End - s.Start
+	}
+	if total != int64(len(meterCSV))+33 {
+		t.Errorf("split bytes = %d", total)
+	}
+	// Prefix filter.
+	splits, err = conn.DiscoverPartitions("meters", "feb")
+	if err != nil || len(splits) != 1 {
+		t.Fatalf("prefix splits = %v, %v", splits, err)
+	}
+	if splits[0].ObjectSize != 33 {
+		t.Errorf("object size = %d", splits[0].ObjectSize)
+	}
+}
+
+func TestDiscoverMissingContainer(t *testing.T) {
+	cl := newStore(t)
+	conn := New(cl, "gp", 0)
+	if _, err := conn.DiscoverPartitions("ghost", ""); err == nil {
+		t.Error("missing container should fail")
+	}
+}
+
+func TestOpenRawAndStats(t *testing.T) {
+	cl := newStore(t)
+	conn := New(cl, "gp", 0)
+	if _, err := conn.Upload("meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := conn.DiscoverPartitions("meters", "")
+	if err != nil || len(splits) != 1 {
+		t.Fatalf("splits = %v, %v", splits, err)
+	}
+	rc, err := conn.Open(splits[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(b) != meterCSV {
+		t.Fatalf("read = %q, %v", b, err)
+	}
+	st := conn.Stats()
+	if st.Requests != 1 || st.BytesIngested != int64(len(meterCSV)) {
+		t.Errorf("stats = %+v", st)
+	}
+	conn.ResetStats()
+	if st := conn.Stats(); st.Requests != 0 || st.BytesIngested != 0 {
+		t.Errorf("reset stats = %+v", st)
+	}
+}
+
+func TestOpenWithPushdownReducesIngestion(t *testing.T) {
+	cl := newStore(t)
+	conn := New(cl, "gp", 0)
+	if _, err := conn.Upload("meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+		t.Fatal(err)
+	}
+	splits, _ := conn.DiscoverPartitions("meters", "")
+	task := &pushdown.Task{
+		Filter:  "csv",
+		Schema:  "vid string, date string, index double, city string, state string",
+		Columns: []string{"vid"},
+		Predicates: []pushdown.Predicate{
+			{Column: "state", Op: pushdown.OpEq, Value: "FRA"},
+		},
+	}
+	rc, err := conn.Open(splits[0], []*pushdown.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || strings.TrimSpace(string(b)) != "V2" {
+		t.Fatalf("read = %q, %v", b, err)
+	}
+	if st := conn.Stats(); st.BytesIngested >= int64(len(meterCSV)) {
+		t.Errorf("ingestion not reduced: %+v", st)
+	}
+}
+
+func TestOpenMissingObject(t *testing.T) {
+	cl := newStore(t)
+	conn := New(cl, "gp", 0)
+	_, err := conn.Open(Split{Account: "gp", Container: "meters", Object: "ghost", End: 10}, nil)
+	if err == nil {
+		t.Error("missing object should fail")
+	}
+}
+
+func TestDefaultChunkSize(t *testing.T) {
+	conn := New(newStore(t), "gp", 0)
+	if conn.chunkSize != DefaultChunkSize {
+		t.Errorf("chunk = %d", conn.chunkSize)
+	}
+	if conn.Account() != "gp" {
+		t.Errorf("account = %q", conn.Account())
+	}
+	if conn.Client() == nil {
+		t.Error("client nil")
+	}
+}
+
+func TestSplitString(t *testing.T) {
+	s := Split{Account: "a", Container: "c", Object: "o", Start: 5, End: 9}
+	if s.String() != "a/c/o[5:9]" {
+		t.Errorf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,286 @@
+// Package csvio provides the byte-range-aware CSV record handling shared by
+// the compute-side data source and the storage-side pushdown filter.
+//
+// Spark tasks operate on byte ranges of objects (paper §V: the Storlet WSGI
+// middleware was extended "to support running Storlets at storage nodes for
+// byte ranges"). A byte range almost never starts or ends on a record
+// boundary, so both sides follow Hadoop input-split semantics:
+//
+//   - a range starting at offset > 0 skips forward to the first record that
+//     *begins* inside the range (i.e. discards bytes up to and including the
+//     first newline), and
+//   - a record whose start offset is at or before the range end is processed
+//     to completion, reading past the end if needed (a record starting
+//     exactly at the end boundary belongs to this range, because the next
+//     range's alignment skip discards it).
+//
+// Applied to every partition of an object, these rules yield exactly-once
+// processing of every record regardless of how the object is partitioned —
+// a property the package's tests check exhaustively.
+package csvio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultDelimiter is the field separator used when none is configured.
+const DefaultDelimiter = ','
+
+// RangeReader yields complete records from a byte range of a record stream.
+//
+// The underlying reader r must be positioned at absolute offset start of the
+// object, and should supply bytes beyond end (the record straddling the end
+// boundary needs them); io.EOF from r simply terminates the stream.
+type RangeReader struct {
+	br      *bufio.Reader
+	pos     int64 // absolute offset of the next byte to read
+	end     int64 // absolute end of the range (exclusive)
+	aligned bool
+	err     error
+}
+
+// NewRangeReader builds a RangeReader for the range [start, end) of the
+// stream r (which must already be positioned at start). If start is 0 the
+// first record is not skipped.
+//
+// r must be able to supply bytes beyond end — the record straddling the end
+// boundary is read to completion. To keep that overrun small when r is a
+// network stream, reading switches to small increments once the boundary is
+// crossed.
+func NewRangeReader(r io.Reader, start, end int64) *RangeReader {
+	br := &boundaryReader{r: r, remaining: end - start}
+	rr := &RangeReader{br: bufio.NewReaderSize(br, 64<<10), pos: start, end: end}
+	rr.aligned = start == 0
+	return rr
+}
+
+// boundaryReader reads freely inside the range and throttles to small chunks
+// beyond it, so finishing a straddling record pulls only a few hundred extra
+// bytes rather than a buffer-sized block.
+type boundaryReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (b *boundaryReader) Read(p []byte) (int, error) {
+	const slackChunk = 256
+	if b.remaining <= 0 {
+		if len(p) > slackChunk {
+			p = p[:slackChunk]
+		}
+		return b.r.Read(p)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.r.Read(p)
+	b.remaining -= int64(n)
+	return n, err
+}
+
+// Next returns the next complete record without its trailing newline. The
+// returned slice is only valid until the next call. Returns io.EOF when the
+// range is exhausted.
+func (r *RangeReader) Next() ([]byte, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !r.aligned {
+		// Discard the partial record the previous range finishes.
+		skipped, err := r.br.ReadBytes('\n')
+		r.pos += int64(len(skipped))
+		if err != nil {
+			r.err = io.EOF
+			if !errors.Is(err, io.EOF) {
+				r.err = err
+			}
+			return nil, r.err
+		}
+		r.aligned = true
+	}
+	for {
+		// Hadoop split rule: a record is owned by the range its start offset
+		// falls in, *including* a record starting exactly at end — the next
+		// range's alignment skip discards that one, so this range must read
+		// it (pos <= end, not pos < end).
+		if r.pos > r.end {
+			r.err = io.EOF
+			return nil, r.err
+		}
+		line, err := r.readLine()
+		if err != nil {
+			r.err = err
+			return nil, err
+		}
+		if len(line) == 0 {
+			continue // blank line, not a record
+		}
+		return line, nil
+	}
+}
+
+// readLine reads one record, updating pos, and strips \n and \r\n.
+func (r *RangeReader) readLine() ([]byte, error) {
+	line, err := r.br.ReadBytes('\n')
+	r.pos += int64(len(line))
+	if len(line) == 0 {
+		if err == nil {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	line = bytes.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+// Fields splits a record into fields. Quoted fields ("a,b" style, with ""
+// escaping) are supported; the fast path for unquoted records makes no
+// copies. dst is reused when non-nil.
+func Fields(record []byte, delim byte, dst [][]byte) [][]byte {
+	dst = dst[:0]
+	if bytes.IndexByte(record, '"') < 0 {
+		// Fast path: plain split.
+		for {
+			i := bytes.IndexByte(record, delim)
+			if i < 0 {
+				return append(dst, record)
+			}
+			dst = append(dst, record[:i])
+			record = record[i+1:]
+		}
+	}
+	// Quoted path.
+	for len(record) >= 0 {
+		if len(record) > 0 && record[0] == '"' {
+			var field []byte
+			i := 1
+			for i < len(record) {
+				if record[i] == '"' {
+					if i+1 < len(record) && record[i+1] == '"' {
+						field = append(field, '"')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				field = append(field, record[i])
+				i++
+			}
+			dst = append(dst, field)
+			if i < len(record) && record[i] == delim {
+				record = record[i+1:]
+				continue
+			}
+			return dst
+		}
+		i := bytes.IndexByte(record, delim)
+		if i < 0 {
+			return append(dst, record)
+		}
+		dst = append(dst, record[:i])
+		record = record[i+1:]
+	}
+	return dst
+}
+
+// NeedsQuoting reports whether a field must be quoted when written.
+func NeedsQuoting(field []byte, delim byte) bool {
+	return bytes.IndexByte(field, delim) >= 0 ||
+		bytes.IndexByte(field, '"') >= 0 ||
+		bytes.IndexByte(field, '\n') >= 0 ||
+		bytes.IndexByte(field, '\r') >= 0
+}
+
+// WriteRecord writes fields as one CSV record with a trailing newline.
+func WriteRecord(w io.Writer, fields [][]byte, delim byte) error {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriter(w)
+		defer bw.Flush()
+	}
+	for i, f := range fields {
+		if i > 0 {
+			if err := bw.WriteByte(delim); err != nil {
+				return err
+			}
+		}
+		if NeedsQuoting(f, delim) {
+			if err := bw.WriteByte('"'); err != nil {
+				return err
+			}
+			for _, c := range f {
+				if c == '"' {
+					if _, err := bw.WriteString(`""`); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := bw.WriteByte(c); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('"'); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := bw.Write(f); err != nil {
+			return err
+		}
+	}
+	return bw.WriteByte('\n')
+}
+
+// ReadHeader reads the first record of r and returns its fields as strings.
+func ReadHeader(r io.Reader) ([]string, int64, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, 0, fmt.Errorf("csvio: read header: %w", err)
+	}
+	n := int64(len(line))
+	line = bytes.TrimRight(line, "\r\n")
+	if len(line) == 0 {
+		return nil, 0, fmt.Errorf("csvio: empty header")
+	}
+	fields := Fields(line, DefaultDelimiter, nil)
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = string(f)
+	}
+	return out, n, nil
+}
+
+// Partition describes one byte range of an object, in absolute offsets.
+type Partition struct {
+	Start int64
+	End   int64 // exclusive
+}
+
+// Partitions splits [0, size) into chunks of at most chunkSize bytes — the
+// "partition discovery" step the connector performs before a query runs.
+func Partitions(size, chunkSize int64) []Partition {
+	if size <= 0 {
+		return nil
+	}
+	if chunkSize <= 0 {
+		return []Partition{{0, size}}
+	}
+	var out []Partition
+	for off := int64(0); off < size; off += chunkSize {
+		end := off + chunkSize
+		if end > size {
+			end = size
+		}
+		out = append(out, Partition{Start: off, End: end})
+	}
+	return out
+}

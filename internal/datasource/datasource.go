@@ -1,0 +1,300 @@
+// Package datasource implements the Spark "Data Sources API" flavors the
+// paper builds on (§V-A): Scan (return everything), PrunedScan (projection
+// passed to the source) and PrunedFilteredScan (projection and selection
+// passed to the source), plus the CSV relation that implements them either
+// the classic way — ingest raw bytes and filter at the compute node — or the
+// Scoop way — delegate projection and selection to the object store.
+package datasource
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"scoop/internal/connector"
+	"scoop/internal/csvio"
+	"scoop/internal/pushdown"
+	"scoop/internal/sql/exec"
+	"scoop/internal/sql/types"
+	"scoop/internal/storlet/compressfilter"
+)
+
+// chainCloser closes a decompressor (when present) before the transport.
+type chainCloser struct {
+	rc    io.ReadCloser
+	extra io.Closer
+}
+
+func (c *chainCloser) Read(p []byte) (int, error) { return c.rc.Read(p) }
+
+func (c *chainCloser) Close() error {
+	if c.extra != nil {
+		c.extra.Close()
+	}
+	return c.rc.Close()
+}
+
+// Relation is the basic Scan flavor: a partitioned dataset with a schema.
+type Relation interface {
+	// Schema describes the rows Scan yields.
+	Schema() *types.Schema
+	// Splits lists the partitions of the dataset.
+	Splits() ([]connector.Split, error)
+	// Scan reads one split, returning every row with every column.
+	Scan(split connector.Split) (exec.Iterator, error)
+}
+
+// PrunedScanner is the PrunedScan flavor: the source prunes columns.
+type PrunedScanner interface {
+	Relation
+	// ScanPruned reads one split returning only the named columns, in order.
+	ScanPruned(split connector.Split, columns []string) (exec.Iterator, error)
+}
+
+// PrunedFilteredScanner is the PrunedFilteredScan flavor: the source prunes
+// columns and applies simple predicates exactly.
+type PrunedFilteredScanner interface {
+	PrunedScanner
+	// ScanPrunedFiltered reads one split returning only the named columns of
+	// rows satisfying all predicates.
+	ScanPrunedFiltered(split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error)
+}
+
+// CSVOptions configure a CSV relation.
+type CSVOptions struct {
+	// Pushdown delegates projection/selection to the object store. When
+	// false the relation ingests raw partitions and filters after parsing at
+	// the compute side — the ingest-then-compute baseline.
+	Pushdown bool
+	// Header marks objects as carrying a header record.
+	Header bool
+	// Delimiter overrides the field separator (default ',').
+	Delimiter byte
+	// Stage forces the pushdown filter tier ("object" default, or "proxy").
+	Stage string
+	// CompressTransfer pipelines a DEFLATE filter after the CSV filter at
+	// the store and decompresses at the compute side — the paper's §VII
+	// "combination of data filtering and compression" for low-selectivity
+	// queries. Only effective in pushdown mode.
+	CompressTransfer bool
+}
+
+// CSVRelation reads CSV objects under a container prefix.
+type CSVRelation struct {
+	conn      *connector.Connector
+	container string
+	prefix    string
+	schema    *types.Schema
+	decl      string
+	opts      CSVOptions
+}
+
+// Statically assert the full API surface.
+var _ PrunedFilteredScanner = (*CSVRelation)(nil)
+
+// NewCSV builds a CSV relation over container/prefix with the declared
+// schema ("name type, ...").
+func NewCSV(conn *connector.Connector, container, prefix, schemaDecl string, opts CSVOptions) (*CSVRelation, error) {
+	schema, err := types.ParseSchema(schemaDecl)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Delimiter == 0 {
+		opts.Delimiter = csvio.DefaultDelimiter
+	}
+	return &CSVRelation{
+		conn:      conn,
+		container: container,
+		prefix:    prefix,
+		schema:    schema,
+		decl:      schemaDecl,
+		opts:      opts,
+	}, nil
+}
+
+// Schema implements Relation.
+func (r *CSVRelation) Schema() *types.Schema { return r.schema }
+
+// Splits implements Relation.
+func (r *CSVRelation) Splits() ([]connector.Split, error) {
+	return r.conn.DiscoverPartitions(r.container, r.prefix)
+}
+
+// Scan implements Relation: all columns, all rows.
+func (r *CSVRelation) Scan(split connector.Split) (exec.Iterator, error) {
+	return r.ScanPrunedFiltered(split, nil, nil)
+}
+
+// ScanPruned implements PrunedScanner.
+func (r *CSVRelation) ScanPruned(split connector.Split, columns []string) (exec.Iterator, error) {
+	return r.ScanPrunedFiltered(split, columns, nil)
+}
+
+// ScanPrunedFiltered implements PrunedFilteredScanner. In pushdown mode it
+// tags the split's GET with a CSV filter task; otherwise it ingests the raw
+// range and prunes/filters after parsing, at the compute side.
+func (r *CSVRelation) ScanPrunedFiltered(split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error) {
+	outSchema := r.schema
+	if len(columns) > 0 {
+		var err error
+		outSchema, err = r.schema.Project(columns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if r.opts.Pushdown {
+		task := &pushdown.Task{
+			Filter:     "csv",
+			Columns:    columns,
+			Predicates: preds,
+			Schema:     r.decl,
+			Stage:      r.opts.Stage,
+		}
+		task.Options = map[string]string{}
+		if r.opts.Header {
+			task.Options["header"] = "true"
+		}
+		if r.opts.Delimiter != csvio.DefaultDelimiter {
+			task.Options["delimiter"] = string(r.opts.Delimiter)
+		}
+		chain := []*pushdown.Task{task}
+		if r.opts.CompressTransfer {
+			chain = append(chain, &pushdown.Task{Filter: compressfilter.FilterName, Stage: r.opts.Stage})
+		}
+		rc, err := r.conn.Open(split, chain)
+		if err != nil {
+			return nil, err
+		}
+		stream := io.Reader(rc)
+		var extra io.Closer
+		if r.opts.CompressTransfer {
+			fr := compressfilter.NewReader(rc)
+			stream = fr
+			extra = fr
+		}
+		// The store returns exactly the projected columns of matching rows;
+		// the whole stream is complete records (no split re-alignment).
+		return &csvIterator{
+			rc:     &chainCloser{rc: rc, extra: extra},
+			rr:     csvio.NewRangeReader(stream, 0, int64(1)<<62),
+			schema: outSchema,
+			delim:  r.opts.Delimiter,
+		}, nil
+	}
+
+	// Baseline: raw ranged GET; alignment, header skip, parse, prune and
+	// filter all happen here at the compute node. The GET extends to the
+	// object's end so the record straddling the split boundary can be
+	// finished; the range reader stops just past End and the lazy HTTP body
+	// means the tail is never actually transferred.
+	open := split
+	open.End = split.ObjectSize
+	rc, err := r.conn.Open(open, nil)
+	if err != nil {
+		return nil, err
+	}
+	it := &csvIterator{
+		rc:         rc,
+		rr:         csvio.NewRangeReader(rc, split.Start, split.End),
+		schema:     outSchema,
+		delim:      r.opts.Delimiter,
+		skipHeader: r.opts.Header && split.Start == 0,
+	}
+	if len(columns) > 0 {
+		it.projIdx = make([]int, len(columns))
+		for i, name := range columns {
+			idx := r.schema.Index(name)
+			if idx < 0 {
+				rc.Close()
+				return nil, fmt.Errorf("datasource: unknown column %q", name)
+			}
+			it.projIdx[i] = idx
+		}
+	}
+	for _, p := range preds {
+		idx := r.schema.Index(p.Column)
+		if idx < 0 {
+			rc.Close()
+			return nil, fmt.Errorf("datasource: unknown predicate column %q", p.Column)
+		}
+		it.preds = append(it.preds, boundPred{idx: idx, pred: p})
+	}
+	return it, nil
+}
+
+type boundPred struct {
+	idx  int
+	pred pushdown.Predicate
+}
+
+// csvIterator parses a CSV stream into typed rows.
+type csvIterator struct {
+	rc         io.ReadCloser
+	rr         *csvio.RangeReader
+	schema     *types.Schema // output schema (pruned or full)
+	delim      byte
+	skipHeader bool
+	// projIdx maps output column -> raw field index; nil means identity
+	// (raw fields are already in output order, as in pushdown mode).
+	projIdx []int
+	preds   []boundPred
+	fields  [][]byte
+	closed  bool
+}
+
+// Next implements exec.Iterator.
+func (it *csvIterator) Next() (types.Row, error) {
+	for {
+		rec, err := it.rr.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		if it.skipHeader {
+			it.skipHeader = false
+			continue
+		}
+		it.fields = csvio.Fields(rec, it.delim, it.fields)
+		if !it.match() {
+			continue
+		}
+		row := make(types.Row, it.schema.Len())
+		for i := range row {
+			idx := i
+			if it.projIdx != nil {
+				idx = it.projIdx[i]
+			}
+			if idx < len(it.fields) {
+				row[i] = types.Coerce(string(it.fields[idx]), it.schema.Columns[i].Type)
+			} else {
+				row[i] = types.NullValue()
+			}
+		}
+		return row, nil
+	}
+}
+
+func (it *csvIterator) match() bool {
+	for _, bp := range it.preds {
+		var raw string
+		null := bp.idx >= len(it.fields)
+		if !null {
+			raw = string(it.fields[bp.idx])
+		}
+		if !bp.pred.Matches(raw, null) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close implements exec.Iterator.
+func (it *csvIterator) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	return it.rc.Close()
+}

@@ -1,0 +1,291 @@
+package datasource
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"scoop/internal/connector"
+	"scoop/internal/objectstore"
+	"scoop/internal/pushdown"
+	"scoop/internal/sql/exec"
+	"scoop/internal/sql/types"
+	"scoop/internal/storlet/compressfilter"
+	"scoop/internal/storlet/csvfilter"
+)
+
+const schemaDecl = "vid string, date string, index double, city string, state string"
+
+const meterCSV = "V1,2015-01-01,10.5,Rotterdam,NED\n" +
+	"V2,2015-01-01,5.25,Paris,FRA\n" +
+	"V3,2015-02-01,1.0,Kyiv,UKR\n"
+
+type fixture struct {
+	cluster *objectstore.Cluster
+	conn    *connector.Connector
+}
+
+func newFixture(t *testing.T, chunkSize int64) *fixture {
+	t.Helper()
+	c, err := objectstore.NewCluster(objectstore.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Engine().Register(csvfilter.New()); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client()
+	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+		t.Fatal(err)
+	}
+	conn := connector.New(cl, "gp", chunkSize)
+	if _, err := conn.Upload("meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{cluster: c, conn: conn}
+}
+
+func drain(t *testing.T, it exec.Iterator) []types.Row {
+	t.Helper()
+	defer it.Close()
+	var out []types.Row
+	for {
+		r, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+}
+
+func allRows(t *testing.T, rel Relation, scan func(connector.Split) (exec.Iterator, error)) []types.Row {
+	t.Helper()
+	splits, err := rel.Splits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []types.Row
+	for _, s := range splits {
+		it, err := scan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, drain(t, it)...)
+	}
+	return out
+}
+
+func modes(t *testing.T, f func(t *testing.T, pushdownMode bool)) {
+	t.Run("baseline", func(t *testing.T) { f(t, false) })
+	t.Run("pushdown", func(t *testing.T) { f(t, true) })
+}
+
+func TestScanAllColumns(t *testing.T) {
+	modes(t, func(t *testing.T, pd bool) {
+		fx := newFixture(t, 0)
+		rel, err := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: pd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := allRows(t, rel, rel.Scan)
+		if len(rows) != 3 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		if rows[0][0].S != "V1" || rows[0][2].F != 10.5 || rows[0][4].S != "NED" {
+			t.Errorf("row0 = %v", rows[0])
+		}
+		if rel.Schema().Len() != 5 {
+			t.Errorf("schema = %v", rel.Schema())
+		}
+	})
+}
+
+func TestScanPruned(t *testing.T) {
+	modes(t, func(t *testing.T, pd bool) {
+		fx := newFixture(t, 0)
+		rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: pd})
+		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPruned(s, []string{"state", "index"})
+		})
+		if len(rows) != 3 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		if len(rows[0]) != 2 || rows[0][0].S != "NED" || rows[0][1].F != 10.5 {
+			t.Errorf("row0 = %v", rows[0])
+		}
+	})
+}
+
+func TestScanPrunedFiltered(t *testing.T) {
+	modes(t, func(t *testing.T, pd bool) {
+		fx := newFixture(t, 0)
+		rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: pd})
+		preds := []pushdown.Predicate{
+			{Column: "date", Op: pushdown.OpLike, Value: "2015-01%"},
+			{Column: "index", Op: pushdown.OpGt, Value: "6", Numeric: true},
+		}
+		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPrunedFiltered(s, []string{"vid"}, preds)
+		})
+		if len(rows) != 1 || rows[0][0].S != "V1" {
+			t.Fatalf("rows = %v", rows)
+		}
+	})
+}
+
+// The key ingestion property: pushdown moves fewer bytes for the same rows.
+func TestPushdownIngestsFewerBytes(t *testing.T) {
+	fx := newFixture(t, 0)
+	preds := []pushdown.Predicate{{Column: "state", Op: pushdown.OpEq, Value: "FRA"}}
+
+	base, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: false})
+	baseRows := allRows(t, base, func(s connector.Split) (exec.Iterator, error) {
+		return base.ScanPrunedFiltered(s, []string{"vid"}, preds)
+	})
+	baseBytes := fx.conn.Stats().BytesIngested
+
+	fx.conn.ResetStats()
+	push, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: true})
+	pushRows := allRows(t, push, func(s connector.Split) (exec.Iterator, error) {
+		return push.ScanPrunedFiltered(s, []string{"vid"}, preds)
+	})
+	pushBytes := fx.conn.Stats().BytesIngested
+
+	if len(baseRows) != len(pushRows) || len(baseRows) != 1 {
+		t.Fatalf("row mismatch: base=%v push=%v", baseRows, pushRows)
+	}
+	if pushBytes >= baseBytes {
+		t.Errorf("pushdown ingested %d bytes, baseline %d", pushBytes, baseBytes)
+	}
+}
+
+// Multiple splits + both modes: every row exactly once.
+func TestMultiSplitExactlyOnce(t *testing.T) {
+	modes(t, func(t *testing.T, pd bool) {
+		fx := newFixture(t, 25) // forces several splits of the 99-byte object
+		rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: pd})
+		splits, err := rel.Splits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(splits) < 3 {
+			t.Fatalf("want multiple splits, got %v", splits)
+		}
+		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPruned(s, []string{"vid"})
+		})
+		seen := map[string]int{}
+		for _, r := range rows {
+			seen[r[0].S]++
+		}
+		for _, vid := range []string{"V1", "V2", "V3"} {
+			if seen[vid] != 1 {
+				t.Errorf("vid %s seen %d times (splits=%v)", vid, seen[vid], splits)
+			}
+		}
+	})
+}
+
+func TestHeaderHandling(t *testing.T) {
+	modes(t, func(t *testing.T, pd bool) {
+		fx := newFixture(t, 0)
+		data := "vid,date,index,city,state\n" + meterCSV
+		if _, err := fx.conn.Upload("meters", "hdr.csv", strings.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := NewCSV(fx.conn, "meters", "hdr", schemaDecl, CSVOptions{Pushdown: pd, Header: true})
+		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPruned(s, []string{"vid"})
+		})
+		if len(rows) != 3 {
+			t.Fatalf("rows = %v", rows)
+		}
+	})
+}
+
+func TestBadSchema(t *testing.T) {
+	fx := newFixture(t, 0)
+	if _, err := NewCSV(fx.conn, "meters", "", "not a schema at all", CSVOptions{}); err == nil {
+		t.Error("bad schema should fail")
+	}
+}
+
+func TestUnknownColumns(t *testing.T) {
+	fx := newFixture(t, 0)
+	rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{})
+	splits, _ := rel.Splits()
+	if _, err := rel.ScanPruned(splits[0], []string{"ghost"}); err == nil {
+		t.Error("unknown projected column should fail")
+	}
+	if _, err := rel.ScanPrunedFiltered(splits[0], nil, []pushdown.Predicate{{Column: "ghost", Op: pushdown.OpEq}}); err == nil {
+		t.Error("unknown predicate column should fail")
+	}
+}
+
+func TestDirtyNumericBecomesNull(t *testing.T) {
+	fx := newFixture(t, 0)
+	if _, err := fx.conn.Upload("meters", "dirty.csv", strings.NewReader("V9,2015-01-01,notanumber,Paris,FRA\n")); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := NewCSV(fx.conn, "meters", "dirty", schemaDecl, CSVOptions{})
+	rows := allRows(t, rel, rel.Scan)
+	if len(rows) != 1 || !rows[0][2].IsNull() {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCompressTransfer(t *testing.T) {
+	fx := newFixture(t, 0)
+	if err := fx.cluster.Engine().Register(compressfilter.New()); err != nil {
+		t.Fatal(err)
+	}
+	// Bigger object so compression can pay off.
+	big := strings.Repeat(meterCSV, 200)
+	if _, err := fx.conn.Upload("meters", "big.csv", strings.NewReader(big)); err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := NewCSV(fx.conn, "meters", "big", schemaDecl, CSVOptions{Pushdown: true})
+	zipped, _ := NewCSV(fx.conn, "meters", "big", schemaDecl, CSVOptions{Pushdown: true, CompressTransfer: true})
+
+	fx.conn.ResetStats()
+	rowsPlain := allRows(t, plain, plain.Scan)
+	plainBytes := fx.conn.Stats().BytesIngested
+
+	fx.conn.ResetStats()
+	rowsZipped := allRows(t, zipped, zipped.Scan)
+	zippedBytes := fx.conn.Stats().BytesIngested
+
+	if len(rowsPlain) != len(rowsZipped) || len(rowsPlain) != 600 {
+		t.Fatalf("rows: plain %d zipped %d", len(rowsPlain), len(rowsZipped))
+	}
+	for i := range rowsPlain {
+		for j := range rowsPlain[i] {
+			if rowsPlain[i][j].Compare(rowsZipped[i][j]) != 0 {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+	if zippedBytes >= plainBytes/2 {
+		t.Errorf("compressed transfer %d vs plain %d: compression ineffective", zippedBytes, plainBytes)
+	}
+}
+
+func TestIteratorCloseIdempotent(t *testing.T) {
+	fx := newFixture(t, 0)
+	rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{})
+	splits, _ := rel.Splits()
+	it, err := rel.Scan(splits[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package datasource
+
+import (
+	"strings"
+	"testing"
+
+	"scoop/internal/connector"
+	"scoop/internal/pushdown"
+	"scoop/internal/sql/exec"
+	"scoop/internal/storlet/jsonfilter"
+)
+
+const jsonDocs = `{"vid": "V1", "index": 10.5, "city": "Rotterdam", "state": "NED"}
+{"vid": "V2", "index": 5.25, "city": "Paris", "state": "FRA"}
+{"vid": "V3", "index": 1, "city": "Kyiv", "state": "UKR"}
+`
+
+const jsonSchema = "vid string, index double, city string, state string"
+
+func newJSONFixture(t *testing.T) *fixture {
+	t.Helper()
+	fx := newFixture(t, 0)
+	if err := fx.cluster.Engine().Register(jsonfilter.New()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.conn.Client().CreateContainer("gp", "jmeters", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.conn.Client().PutObject("gp", "jmeters", "docs.jsonl",
+		strings.NewReader(jsonDocs), nil); err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func jsonModes(t *testing.T, f func(t *testing.T, pd bool)) {
+	t.Run("baseline", func(t *testing.T) { f(t, false) })
+	t.Run("pushdown", func(t *testing.T) { f(t, true) })
+}
+
+func TestJSONScan(t *testing.T) {
+	jsonModes(t, func(t *testing.T, pd bool) {
+		fx := newJSONFixture(t)
+		rel, err := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{Pushdown: pd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := allRows(t, rel, rel.Scan)
+		if len(rows) != 3 {
+			t.Fatalf("rows = %v", rows)
+		}
+		if rows[0][0].S != "V1" || rows[0][1].F != 10.5 || rows[0][3].S != "NED" {
+			t.Errorf("row0 = %v", rows[0])
+		}
+	})
+}
+
+func TestJSONPrunedFiltered(t *testing.T) {
+	jsonModes(t, func(t *testing.T, pd bool) {
+		fx := newJSONFixture(t)
+		rel, _ := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{Pushdown: pd})
+		preds := []pushdown.Predicate{{Column: "index", Op: pushdown.OpGt, Value: "2", Numeric: true}}
+		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPrunedFiltered(s, []string{"vid", "index"}, preds)
+		})
+		if len(rows) != 2 || len(rows[0]) != 2 {
+			t.Fatalf("rows = %v", rows)
+		}
+	})
+}
+
+func TestJSONPushdownReducesTransfer(t *testing.T) {
+	fx := newJSONFixture(t)
+	preds := []pushdown.Predicate{{Column: "state", Op: pushdown.OpEq, Value: "FRA"}}
+	scan := func(rel PrunedFilteredScanner) int64 {
+		fx.conn.ResetStats()
+		splits, err := rel.Splits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range splits {
+			it, err := rel.ScanPrunedFiltered(s, []string{"vid"}, preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drain(t, it)
+		}
+		return fx.conn.Stats().BytesIngested
+	}
+	base, _ := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{})
+	push, _ := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{Pushdown: true})
+	baseBytes := scan(base)
+	pushBytes := scan(push)
+	if pushBytes >= baseBytes/5 {
+		t.Errorf("pushdown moved %d vs baseline %d", pushBytes, baseBytes)
+	}
+}
+
+func TestJSONModeEquivalence(t *testing.T) {
+	fx := newJSONFixture(t)
+	preds := []pushdown.Predicate{{Column: "city", Op: pushdown.OpLike, Value: "P%"}}
+	var results [][]string
+	for _, pd := range []bool{false, true} {
+		rel, _ := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{Pushdown: pd})
+		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPrunedFiltered(s, []string{"vid", "state"}, preds)
+		})
+		var rendered []string
+		for _, r := range rows {
+			rendered = append(rendered, r[0].AsString()+"|"+r[1].AsString())
+		}
+		results = append(results, rendered)
+	}
+	if len(results[0]) != len(results[1]) {
+		t.Fatalf("row counts differ: %v vs %v", results[0], results[1])
+	}
+	for i := range results[0] {
+		if results[0][i] != results[1][i] {
+			t.Errorf("row %d: %q vs %q", i, results[0][i], results[1][i])
+		}
+	}
+}
+
+func TestJSONBadSchemaAndColumns(t *testing.T) {
+	fx := newJSONFixture(t)
+	if _, err := NewJSON(fx.conn, "jmeters", "", "bad", JSONOptions{}); err == nil {
+		t.Error("bad schema accepted")
+	}
+	rel, _ := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{})
+	splits, _ := rel.Splits()
+	if _, err := rel.ScanPruned(splits[0], []string{"ghost"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestJSONSkipInvalid(t *testing.T) {
+	fx := newJSONFixture(t)
+	dirty := `{"vid": "V9"}` + "\ngarbage line\n"
+	if _, err := fx.conn.Client().PutObject("gp", "jmeters", "dirty.jsonl",
+		strings.NewReader(dirty), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Without skip, baseline parse fails.
+	strict, _ := NewJSON(fx.conn, "jmeters", "dirty", jsonSchema, JSONOptions{})
+	splits, _ := strict.Splits()
+	it, err := strict.Scan(splits[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	bad := false
+	for {
+		_, err := it.Next()
+		if err != nil {
+			bad = strings.Contains(err.Error(), "json")
+			break
+		}
+	}
+	if !bad {
+		t.Error("invalid line not surfaced")
+	}
+	// With skip, the good doc survives in both modes.
+	jsonModes(t, func(t *testing.T, pd bool) {
+		rel, _ := NewJSON(fx.conn, "jmeters", "dirty", jsonSchema, JSONOptions{Pushdown: pd, SkipInvalid: true})
+		rows := allRows(t, rel, rel.Scan)
+		if len(rows) != 1 || rows[0][0].S != "V9" {
+			t.Errorf("rows = %v", rows)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// One shared env: building it generates and uploads the dataset once.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestTable1(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := Table1(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, q := range GridPocketQueries {
+		if !strings.Contains(out, q.Name) {
+			t.Errorf("Table1 missing query %s", q.Name)
+		}
+	}
+	if !strings.Contains(out, "data sel (ours)") {
+		t.Error("Table1 missing measured columns")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3000 GB") {
+		t.Errorf("Fig1 output:\n%s", buf.String())
+	}
+}
+
+func TestFig5(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := Fig5(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"row selectivity", "column selectivity", "mixed selectivity", "real-path validation"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig5 missing %q", frag)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "99.99%") {
+		t.Error("Fig6 missing high-selectivity row")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := Fig7(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ShowGraphHCHP") || !strings.Contains(out, "Total model time") {
+		t.Errorf("Fig7 output:\n%s", out)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := Fig8(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "parquet") || !strings.Contains(out, "real-path transfer comparison") {
+		t.Errorf("Fig8 output:\n%s", out)
+	}
+}
+
+func TestFig9And10(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := Fig9(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LB avg transmit") {
+		t.Error("Fig9 missing network row")
+	}
+	buf.Reset()
+	if err := Fig10(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "plain Swift") || !strings.Contains(out, "filter time share") {
+		t.Errorf("Fig10 output:\n%s", out)
+	}
+}
+
+func TestRunQueryMeasurements(t *testing.T) {
+	env := testEnv(t)
+	// ShowPiemonth: state LIKE 'U%' — high row selectivity on our data too.
+	m, err := env.RunQuery("ShowPiemonth", GridPocketQueries[4].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DataSelectivity < 0.5 {
+		t.Errorf("data selectivity = %v, want substantial", m.DataSelectivity)
+	}
+	if m.RowSelectivity <= 0 || m.RowSelectivity >= 1 {
+		t.Errorf("row selectivity = %v", m.RowSelectivity)
+	}
+	if m.Rows == 0 {
+		t.Error("no result rows")
+	}
+	wl := m.SimWorkload(50 * GB)
+	if err := wl.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimWorkloadTypeInference(t *testing.T) {
+	rowish := MeasuredQuery{RowSelectivity: 0.9, ColSelectivity: 0.1}
+	if wl := rowish.SimWorkload(GB); wl.Type.String() != "row" {
+		t.Errorf("type = %v", wl.Type)
+	}
+	colish := MeasuredQuery{RowSelectivity: 0.1, ColSelectivity: 0.9}
+	if wl := colish.SimWorkload(GB); wl.Type.String() != "column" {
+		t.Errorf("type = %v", wl.Type)
+	}
+	both := MeasuredQuery{RowSelectivity: 0.9, ColSelectivity: 0.9}
+	if wl := both.SimWorkload(GB); wl.Type.String() != "mixed" {
+		t.Errorf("type = %v", wl.Type)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &table{header: []string{"a", "long-header"}}
+	tb.add("wide-cell-value", "x")
+	var buf bytes.Buffer
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("missing separator")
+	}
+}

@@ -1,0 +1,295 @@
+// Package meter generates synthetic smart-meter datasets with the structure
+// of the GridPocket data used in the paper's evaluation: CSV rows of 10
+// columns, one reading per meter every 10 minutes, for a configurable number
+// of meters and days. The paper's own anonymized datasets keep only the
+// structural characteristics of the original data — selectivity and byte
+// volume — which is exactly what this generator reproduces. (The authors
+// published a similar generator; this is an independent reimplementation.)
+package meter
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"time"
+)
+
+// SchemaDecl declares the 10-column dataset schema in the form accepted by
+// types.ParseSchema. Column names match the paper's Table I queries (vid,
+// date, index, sumHC, sumHP, city, state, lat, long).
+const SchemaDecl = "vid string, date string, index double, sumHC double, sumHP double, type string, city string, state string, lat double, long double"
+
+// Columns lists the column names in order.
+var Columns = []string{"vid", "date", "index", "sumHC", "sumHP", "type", "city", "state", "lat", "long"}
+
+// City is a location a meter can be installed in.
+type City struct {
+	Name  string
+	State string
+	Lat   float64
+	Long  float64
+}
+
+// Cities are the locations used by the generator. The mix deliberately
+// includes the values Table I queries select on: city 'Rotterdam', state
+// 'FRA' and states matching 'U%'.
+var Cities = []City{
+	{"Rotterdam", "NED", 51.9225, 4.47917},
+	{"Amsterdam", "NED", 52.3676, 4.9041},
+	{"Paris", "FRA", 48.8566, 2.3522},
+	{"Lyon", "FRA", 45.7640, 4.8357},
+	{"Nice", "FRA", 43.7102, 7.2620},
+	{"Kyiv", "UKR", 50.4501, 30.5234},
+	{"London", "UK", 51.5074, -0.1278},
+	{"Barcelona", "ESP", 41.3851, 2.1734},
+	{"Berlin", "GER", 52.5200, 13.4050},
+	{"Rome", "ITA", 41.9028, 12.4964},
+}
+
+// MeterTypes are the meter hardware types emitted in the "type" column.
+var MeterTypes = []string{"elec", "gas", "water"}
+
+// Config parameterizes a synthetic dataset. The zero value is not valid; use
+// DefaultConfig and override.
+type Config struct {
+	// Meters is the number of distinct smart meters (paper: 10K).
+	Meters int
+	// Start is the timestamp of the first reading.
+	Start time.Time
+	// Days is the time span covered; each meter reports every Interval.
+	Days int
+	// Interval between readings of one meter (paper: 10 minutes).
+	Interval time.Duration
+	// Seed makes the dataset deterministic.
+	Seed int64
+	// Header emits a column-name header record first.
+	Header bool
+	// DirtyFraction in [0,1) injects malformed rows (extra whitespace,
+	// missing fields) at roughly this rate, for exercising ETL cleansing.
+	DirtyFraction float64
+}
+
+// DefaultConfig returns a small deterministic dataset configuration starting
+// 2015-01-01, matching the date range the Table I queries filter on.
+func DefaultConfig() Config {
+	return Config{
+		Meters:   100,
+		Start:    time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+		Days:     31,
+		Interval: 10 * time.Minute,
+		Seed:     1,
+	}
+}
+
+// meterState carries the per-meter cumulative counters.
+type meterState struct {
+	vid   string
+	city  City
+	typ   string
+	index float64
+	sumHC float64
+	sumHP float64
+	rng   *rand.Rand
+}
+
+// VID formats a meter id; ids are zero-padded so lexicographic order equals
+// numeric order, which the selectivity helpers rely on.
+func VID(i int) string { return fmt.Sprintf("V%06d", i) }
+
+// Generate streams every row of the dataset to fn as raw string fields.
+// Rows are emitted time-major (all meters for reading 0, then reading 1, ...)
+// which mirrors arrival order of real IoT feeds and spreads each meter's rows
+// uniformly across the object — the property the row-selectivity experiments
+// depend on.
+func (c Config) Generate(fn func(fields []string) error) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	meters := c.newMeters()
+	readings := c.ReadingsPerMeter()
+	fields := make([]string, 10)
+	dirtyRng := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
+	for r := 0; r < readings; r++ {
+		ts := c.Start.Add(time.Duration(r) * c.Interval)
+		date := ts.Format("2006-01-02 15:04:05")
+		for _, m := range meters {
+			m.step()
+			fields[0] = m.vid
+			fields[1] = date
+			fields[2] = strconv.FormatFloat(m.index, 'f', 2, 64)
+			fields[3] = strconv.FormatFloat(m.sumHC, 'f', 2, 64)
+			fields[4] = strconv.FormatFloat(m.sumHP, 'f', 2, 64)
+			fields[5] = m.typ
+			fields[6] = m.city.Name
+			fields[7] = m.city.State
+			fields[8] = strconv.FormatFloat(m.city.Lat, 'f', 4, 64)
+			fields[9] = strconv.FormatFloat(m.city.Long, 'f', 4, 64)
+			if c.DirtyFraction > 0 && dirtyRng.Float64() < c.DirtyFraction {
+				dirty := corrupt(fields, dirtyRng)
+				if err := fn(dirty); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := fn(fields); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// corrupt produces a malformed variant of the row: padded fields or a
+// truncated record, the kinds of dirt the ETL storlet cleanses on upload.
+func corrupt(fields []string, rng *rand.Rand) []string {
+	out := make([]string, len(fields))
+	copy(out, fields)
+	switch rng.Intn(3) {
+	case 0: // stray whitespace
+		i := rng.Intn(len(out))
+		out[i] = "  " + out[i] + " "
+	case 1: // missing trailing fields
+		return out[:1+rng.Intn(len(out)-1)]
+	default: // empty mandatory field
+		out[rng.Intn(2)] = ""
+	}
+	return out
+}
+
+func (c Config) validate() error {
+	if c.Meters <= 0 {
+		return fmt.Errorf("meter: Meters must be > 0")
+	}
+	if c.Days <= 0 {
+		return fmt.Errorf("meter: Days must be > 0")
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("meter: Interval must be > 0")
+	}
+	if c.Start.IsZero() {
+		return fmt.Errorf("meter: Start must be set")
+	}
+	return nil
+}
+
+func (c Config) newMeters() []*meterState {
+	meters := make([]*meterState, c.Meters)
+	for i := range meters {
+		rng := rand.New(rand.NewSource(c.Seed + int64(i)*7919))
+		meters[i] = &meterState{
+			vid:  VID(i),
+			city: Cities[rng.Intn(len(Cities))],
+			typ:  MeterTypes[rng.Intn(len(MeterTypes))],
+			// Start counters at a realistic installed-meter offset.
+			index: float64(rng.Intn(100000)),
+			sumHC: float64(rng.Intn(50000)),
+			sumHP: float64(rng.Intn(50000)),
+			rng:   rng,
+		}
+	}
+	return meters
+}
+
+// step advances one reading: cumulative counters grow monotonically.
+func (m *meterState) step() {
+	use := m.rng.Float64() * 0.5 // kWh in 10 minutes
+	m.index += use
+	hc := use * m.rng.Float64()
+	m.sumHC += hc
+	m.sumHP += use - hc
+}
+
+// ReadingsPerMeter returns the number of readings each meter produces.
+func (c Config) ReadingsPerMeter() int {
+	return int(time.Duration(c.Days) * 24 * time.Hour / c.Interval)
+}
+
+// Rows returns the total number of data rows.
+func (c Config) Rows() int64 {
+	return int64(c.Meters) * int64(c.ReadingsPerMeter())
+}
+
+// WriteCSV writes the dataset as CSV to w, returning the byte count.
+func (c Config) WriteCSV(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 256<<10)
+	var n int64
+	write := func(fields []string) error {
+		for i, f := range fields {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+				n++
+			}
+			m, err := bw.WriteString(f)
+			n += int64(m)
+			if err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+	if c.Header {
+		if err := write(Columns); err != nil {
+			return n, err
+		}
+	}
+	if err := c.Generate(write); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// RowSelectivityPredicate returns the vid upper bound such that the predicate
+// vid < bound matches approximately frac of all rows. Meters are uniform
+// across rows, so selecting a meter-id prefix selects the same fraction of
+// rows. (The synthetic Fig. 5 sweep drives row selectivity with this.)
+func (c Config) RowSelectivityPredicate(frac float64) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	keep := int(float64(c.Meters)*frac + 0.5)
+	return VID(keep)
+}
+
+// ColumnSubset returns the first n column names whose cumulative average
+// byte share is closest to frac of the row, supporting column-selectivity
+// sweeps. The second return is the achieved byte fraction.
+func ColumnSubset(frac float64) ([]string, float64) {
+	// Average rendered field widths (comma included) for the generator's
+	// output; measured once and fixed so sweeps are deterministic.
+	widths := []float64{8, 20, 10, 10, 10, 5, 9, 4, 8, 8}
+	var total float64
+	for _, w := range widths {
+		total += w
+	}
+	best, bestDiff := 1, 2.0
+	for n := 1; n <= len(widths); n++ {
+		var sum float64
+		for _, w := range widths[:n] {
+			sum += w
+		}
+		diff := sum/total - frac
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			best = n
+		}
+	}
+	var sum float64
+	for _, w := range widths[:best] {
+		sum += w
+	}
+	return append([]string(nil), Columns[:best]...), sum / total
+}

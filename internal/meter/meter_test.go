@@ -1,0 +1,266 @@
+package meter
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"scoop/internal/sql/types"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.Meters = 5
+	c.Days = 1
+	c.Interval = time.Hour
+	return c
+}
+
+func TestSchemaDeclParses(t *testing.T) {
+	s, err := types.ParseSchema(SchemaDecl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("schema len = %d", s.Len())
+	}
+	for i, name := range Columns {
+		if s.Columns[i].Name != name {
+			t.Errorf("col %d = %q, want %q", i, s.Columns[i].Name, name)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := smallConfig()
+	var rows [][]string
+	err := c.Generate(func(fields []string) error {
+		cp := make([]string, len(fields))
+		copy(cp, fields)
+		rows = append(rows, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rows)) != c.Rows() {
+		t.Fatalf("rows = %d, want %d", len(rows), c.Rows())
+	}
+	if c.ReadingsPerMeter() != 24 {
+		t.Fatalf("readings = %d", c.ReadingsPerMeter())
+	}
+	// First block is reading 0 for all meters, time-major.
+	if rows[0][0] != "V000000" || rows[4][0] != "V000004" {
+		t.Errorf("vid order: %v %v", rows[0][0], rows[4][0])
+	}
+	if rows[0][1] != "2015-01-01 00:00:00" {
+		t.Errorf("date = %q", rows[0][1])
+	}
+	if rows[5][1] != "2015-01-01 01:00:00" {
+		t.Errorf("second reading date = %q", rows[5][1])
+	}
+	for _, r := range rows {
+		if len(r) != 10 {
+			t.Fatalf("row width = %d: %v", len(r), r)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := smallConfig()
+	var a, b bytes.Buffer
+	if _, err := c.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same config produced different data")
+	}
+	c2 := c
+	c2.Seed = 99
+	var d bytes.Buffer
+	if _, err := c2.WriteCSV(&d); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), d.Bytes()) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestCumulativeCounters(t *testing.T) {
+	c := smallConfig()
+	last := map[string]float64{}
+	err := c.Generate(func(f []string) error {
+		vid := f[0]
+		var idx float64
+		if _, err := parseFloat(f[2], &idx); err != nil {
+			t.Fatalf("bad index %q", f[2])
+		}
+		if prev, ok := last[vid]; ok && idx < prev {
+			t.Fatalf("index decreased for %s: %v -> %v", vid, prev, idx)
+		}
+		last[vid] = idx
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func parseFloat(s string, out *float64) (int, error) {
+	var f float64
+	n, err := sscanFloat(s, &f)
+	*out = f
+	return n, err
+}
+
+func sscanFloat(s string, f *float64) (int, error) {
+	v := types.Coerce(s, types.Float)
+	if v.IsNull() {
+		return 0, errBadFloat(s)
+	}
+	*f = v.F
+	return 1, nil
+}
+
+type errBadFloat string
+
+func (e errBadFloat) Error() string { return "bad float: " + string(e) }
+
+func TestWriteCSVByteCount(t *testing.T) {
+	c := smallConfig()
+	c.Header = true
+	var buf bytes.Buffer
+	n, err := c.WriteCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if int64(len(lines)) != c.Rows()+1 {
+		t.Errorf("lines = %d, want %d", len(lines), c.Rows()+1)
+	}
+	if lines[0] != strings.Join(Columns, ",") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Meters: 1, Days: 1, Interval: time.Minute},                     // zero start
+		{Meters: 0, Days: 1, Interval: time.Minute, Start: time.Now()},  // no meters
+		{Meters: 1, Days: 0, Interval: time.Minute, Start: time.Now()},  // no days
+		{Meters: 1, Days: 1, Interval: -time.Minute, Start: time.Now()}, // bad interval
+	}
+	for i, c := range bad {
+		if err := c.Generate(func([]string) error { return nil }); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestDirtyFraction(t *testing.T) {
+	c := smallConfig()
+	c.DirtyFraction = 0.3
+	dirty, total := 0, 0
+	err := c.Generate(func(f []string) error {
+		total++
+		if len(f) != 10 || f[0] == "" || f[1] == "" || strings.TrimSpace(f[0]) != f[0] {
+			dirty++
+			return nil
+		}
+		for _, v := range f {
+			if strings.TrimSpace(v) != v {
+				dirty++
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(dirty) / float64(total)
+	if frac < 0.1 || frac > 0.5 {
+		t.Errorf("dirty fraction = %v (%d/%d), want near 0.3", frac, dirty, total)
+	}
+}
+
+func TestRowSelectivityPredicate(t *testing.T) {
+	c := DefaultConfig()
+	c.Meters = 1000
+	bound := c.RowSelectivityPredicate(0.25)
+	if bound != "V000250" {
+		t.Errorf("bound = %q", bound)
+	}
+	if c.RowSelectivityPredicate(-1) != "V000000" {
+		t.Error("clamp low")
+	}
+	if c.RowSelectivityPredicate(2) != "V001000" {
+		t.Error("clamp high")
+	}
+	// The predicate actually selects that fraction of generated rows.
+	small := smallConfig()
+	small.Meters = 10
+	bound = small.RowSelectivityPredicate(0.4)
+	kept, total := 0, 0
+	_ = small.Generate(func(f []string) error {
+		total++
+		if f[0] < bound {
+			kept++
+		}
+		return nil
+	})
+	got := float64(kept) / float64(total)
+	if got < 0.39 || got > 0.41 {
+		t.Errorf("selected fraction = %v, want 0.4", got)
+	}
+}
+
+func TestColumnSubset(t *testing.T) {
+	cols, frac := ColumnSubset(0.5)
+	if len(cols) == 0 || len(cols) >= 10 {
+		t.Fatalf("cols = %v", cols)
+	}
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("achieved frac = %v", frac)
+	}
+	all, f := ColumnSubset(1.0)
+	if len(all) != 10 || f != 1.0 {
+		t.Errorf("full subset = %v %v", all, f)
+	}
+	one, _ := ColumnSubset(0)
+	if len(one) != 1 {
+		t.Errorf("min subset = %v", one)
+	}
+}
+
+func TestVIDOrdering(t *testing.T) {
+	if !(VID(9) < VID(10) && VID(99) < VID(100)) {
+		t.Error("VID lexicographic order broken")
+	}
+}
+
+func TestCitiesCoverQueryValues(t *testing.T) {
+	var hasRotterdam, hasFRA, hasU bool
+	for _, c := range Cities {
+		if c.Name == "Rotterdam" {
+			hasRotterdam = true
+		}
+		if c.State == "FRA" {
+			hasFRA = true
+		}
+		if strings.HasPrefix(c.State, "U") {
+			hasU = true
+		}
+	}
+	if !hasRotterdam || !hasFRA || !hasU {
+		t.Errorf("city list missing Table I values: rotterdam=%v fra=%v u=%v", hasRotterdam, hasFRA, hasU)
+	}
+}

@@ -1,0 +1,194 @@
+// Package metrics is the collectd analog of the reproduction: a background
+// sampler that polls registered gauges at a fixed interval and keeps the
+// time series, from which experiments derive the average/peak utilization
+// rows reported in the paper's Fig. 9 and Fig. 10.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one poll of every registered gauge.
+type Sample struct {
+	T      time.Time
+	Values map[string]float64
+}
+
+// Collector polls gauges on an interval.
+type Collector struct {
+	interval time.Duration
+
+	mu      sync.Mutex
+	gauges  map[string]func() float64
+	samples []Sample
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewCollector creates a collector; interval must be positive.
+func NewCollector(interval time.Duration) (*Collector, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("metrics: interval must be positive")
+	}
+	return &Collector{
+		interval: interval,
+		gauges:   make(map[string]func() float64),
+	}, nil
+}
+
+// Register adds a gauge. Registering while running is allowed; the next
+// sample includes it.
+func (c *Collector) Register(name string, fn func() float64) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("metrics: gauge needs a name and a func")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.gauges[name]; dup {
+		return fmt.Errorf("metrics: gauge %q already registered", name)
+	}
+	c.gauges[name] = fn
+	return nil
+}
+
+// Start begins sampling in the background. Calling Start twice is an error.
+func (c *Collector) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return fmt.Errorf("metrics: already started")
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run(c.stop, c.done)
+	return nil
+}
+
+func (c *Collector) run(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	c.sampleOnce() // immediate first sample
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			c.sampleOnce()
+		}
+	}
+}
+
+// sampleOnce polls every gauge now. Exported through Poll for synchronous
+// use in tests and short experiments.
+func (c *Collector) sampleOnce() {
+	c.mu.Lock()
+	fns := make(map[string]func() float64, len(c.gauges))
+	for k, v := range c.gauges {
+		fns[k] = v
+	}
+	c.mu.Unlock()
+	s := Sample{T: time.Now(), Values: make(map[string]float64, len(fns))}
+	for name, fn := range fns {
+		s.Values[name] = fn()
+	}
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+// Poll takes one synchronous sample (usable without Start).
+func (c *Collector) Poll() { c.sampleOnce() }
+
+// Stop halts background sampling and waits for the sampler to exit.
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Reset clears the recorded samples.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples = nil
+}
+
+// Samples returns a copy of the recorded time series.
+func (c *Collector) Samples() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Sample, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
+
+// Summary aggregates one gauge across the recorded samples.
+type Summary struct {
+	Count int
+	Avg   float64
+	Peak  float64
+	Min   float64
+}
+
+// Summarize computes the summary of one gauge, or ok=false if it never
+// appeared in a sample.
+func (c *Collector) Summarize(name string) (Summary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Summary
+	var sum float64
+	first := true
+	for _, sample := range c.samples {
+		v, ok := sample.Values[name]
+		if !ok {
+			continue
+		}
+		s.Count++
+		sum += v
+		if first || v > s.Peak {
+			s.Peak = v
+		}
+		if first || v < s.Min {
+			s.Min = v
+		}
+		first = false
+	}
+	if s.Count == 0 {
+		return Summary{}, false
+	}
+	s.Avg = sum / float64(s.Count)
+	return s, true
+}
+
+// Names lists the registered gauges, sorted.
+func (c *Collector) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.gauges))
+	for n := range c.gauges {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rate converts two cumulative-counter samples into an average rate per
+// second — how collectd derives NIC bandwidth from interface byte counters.
+func Rate(earlier, later Sample, name string) (float64, bool) {
+	a, ok1 := earlier.Values[name]
+	b, ok2 := later.Values[name]
+	dt := later.T.Sub(earlier.T).Seconds()
+	if !ok1 || !ok2 || dt <= 0 {
+		return 0, false
+	}
+	return (b - a) / dt, true
+}

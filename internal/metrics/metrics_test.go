@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewCollector(-time.Second); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c, _ := NewCollector(time.Millisecond)
+	if err := c.Register("", func() float64 { return 0 }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := c.Register("x", nil); err == nil {
+		t.Error("nil func accepted")
+	}
+	if err := c.Register("x", func() float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("x", func() float64 { return 0 }); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "x" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestPollAndSummarize(t *testing.T) {
+	c, _ := NewCollector(time.Hour) // manual polling only
+	var v atomic.Int64
+	_ = c.Register("cpu", func() float64 { return float64(v.Load()) })
+	for _, x := range []int64{10, 30, 20} {
+		v.Store(x)
+		c.Poll()
+	}
+	s, ok := c.Summarize("cpu")
+	if !ok {
+		t.Fatal("no summary")
+	}
+	if s.Count != 3 || s.Avg != 20 || s.Peak != 30 || s.Min != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if _, ok := c.Summarize("ghost"); ok {
+		t.Error("ghost gauge summarized")
+	}
+	if got := len(c.Samples()); got != 3 {
+		t.Errorf("samples = %d", got)
+	}
+	c.Reset()
+	if got := len(c.Samples()); got != 0 {
+		t.Errorf("samples after reset = %d", got)
+	}
+}
+
+func TestBackgroundSampling(t *testing.T) {
+	c, _ := NewCollector(2 * time.Millisecond)
+	var n atomic.Int64
+	_ = c.Register("ticks", func() float64 { return float64(n.Add(1)) })
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.Stop()
+	got := len(c.Samples())
+	if got < 3 {
+		t.Errorf("samples = %d, want several", got)
+	}
+	// No more samples after Stop.
+	time.Sleep(10 * time.Millisecond)
+	if len(c.Samples()) != got {
+		t.Error("sampling continued after Stop")
+	}
+	// Stop is idempotent.
+	c.Stop()
+	// Restart works.
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+}
+
+func TestRegisterWhileRunning(t *testing.T) {
+	c, _ := NewCollector(time.Millisecond)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Register("late", func() float64 { return 7 }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if s, ok := c.Summarize("late"); ok && s.Count > 0 {
+			if s.Avg != 7 {
+				t.Errorf("late gauge avg = %v", s.Avg)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Error("late-registered gauge never sampled")
+}
+
+func TestRate(t *testing.T) {
+	t0 := time.Now()
+	a := Sample{T: t0, Values: map[string]float64{"bytes": 100}}
+	b := Sample{T: t0.Add(2 * time.Second), Values: map[string]float64{"bytes": 300}}
+	r, ok := Rate(a, b, "bytes")
+	if !ok || r != 100 {
+		t.Errorf("rate = %v, %v", r, ok)
+	}
+	if _, ok := Rate(a, b, "ghost"); ok {
+		t.Error("missing counter accepted")
+	}
+	if _, ok := Rate(b, a, "bytes"); ok {
+		t.Error("non-positive dt accepted")
+	}
+}

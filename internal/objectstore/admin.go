@@ -1,0 +1,97 @@
+package objectstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"scoop/internal/storlet"
+)
+
+// AdminHandler serves a cluster's operational endpoints:
+//
+//	GET  /admin/stats                 node/proxy/LB/filter counters (JSON)
+//	POST /admin/deploy?account=A      load filter manifests from A's
+//	                                  .storlets container into the engine
+//
+// scoopd mounts it next to the data-path Handler.
+type AdminHandler struct {
+	cluster *Cluster
+}
+
+// NewAdminHandler wraps a cluster.
+func NewAdminHandler(cluster *Cluster) *AdminHandler {
+	return &AdminHandler{cluster: cluster}
+}
+
+// ServeHTTP implements http.Handler.
+func (h *AdminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/admin/stats":
+		h.serveStats(w, r)
+	case "/admin/deploy":
+		h.serveDeploy(w, r)
+	default:
+		http.Error(w, "unknown admin endpoint", http.StatusNotFound)
+	}
+}
+
+// StatsSnapshot is the stats document served at /admin/stats.
+type StatsSnapshot struct {
+	LBBytes    int64                    `json:"lb_bytes"`
+	Nodes      map[string]NodeStats     `json:"nodes"`
+	Proxies    map[string]ProxyStats    `json:"proxies"`
+	Filters    map[string]storlet.Stats `json:"filters"`
+	NodeTotal  NodeStats                `json:"node_total"`
+	ProxyTotal ProxyStats               `json:"proxy_total"`
+}
+
+// Snapshot collects the cluster's counters.
+func (h *AdminHandler) Snapshot() StatsSnapshot {
+	c := h.cluster
+	out := StatsSnapshot{
+		LBBytes:    c.LBBytes(),
+		Nodes:      map[string]NodeStats{},
+		Proxies:    map[string]ProxyStats{},
+		Filters:    map[string]storlet.Stats{},
+		NodeTotal:  c.NodeStatsTotal(),
+		ProxyTotal: c.ProxyStatsTotal(),
+	}
+	for _, n := range c.Nodes() {
+		out.Nodes[n.Name()] = n.Stats()
+	}
+	for _, p := range c.Proxies() {
+		out.Proxies[p.Name()] = p.Stats()
+	}
+	for _, name := range c.Engine().Names() {
+		out.Filters[name] = c.Engine().StatsFor(name)
+	}
+	return out
+}
+
+func (h *AdminHandler) serveStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h.Snapshot())
+}
+
+func (h *AdminHandler) serveDeploy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	account := r.URL.Query().Get("account")
+	if account == "" {
+		http.Error(w, "account query parameter required", http.StatusBadRequest)
+		return
+	}
+	n, err := DeployStorlets(h.cluster.Client(), account, h.cluster.Engine())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "deployed %d filter(s); active: %v\n", n, h.cluster.Engine().Names())
+}

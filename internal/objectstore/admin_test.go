@@ -1,0 +1,117 @@
+package objectstore
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newAdminServer(t *testing.T) (*Cluster, *httptest.Server) {
+	t.Helper()
+	c := newTestCluster(t)
+	srv := httptest.NewServer(NewAdminHandler(c))
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func TestAdminStats(t *testing.T) {
+	c, srv := newAdminServer(t)
+	// Generate some traffic first.
+	cl := c.Client()
+	_ = cl.CreateContainer("gp", "meters", nil)
+	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
+	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, rc)
+
+	resp, err := http.Get(srv.URL + "/admin/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.LBBytes != int64(len(meterCSV)) {
+		t.Errorf("LB bytes = %d, want %d", snap.LBBytes, len(meterCSV))
+	}
+	if len(snap.Nodes) == 0 || len(snap.Proxies) == 0 {
+		t.Errorf("snapshot missing members: %+v", snap)
+	}
+	if snap.NodeTotal.Requests == 0 {
+		t.Errorf("node total = %+v", snap.NodeTotal)
+	}
+	if _, ok := snap.Filters["csv"]; !ok {
+		t.Errorf("filters = %v", snap.Filters)
+	}
+	// Wrong method.
+	r2, _ := http.Post(srv.URL+"/admin/stats", "", nil)
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST stats = %d", r2.StatusCode)
+	}
+}
+
+func TestAdminDeploy(t *testing.T) {
+	c, srv := newAdminServer(t)
+	cl := c.Client()
+	_ = cl.CreateContainer("gp", StorletContainer, nil)
+	manifest := `{"name": "vid-only", "type": "pipeline", "chain": [
+		{"filter": "csv", "schema": "` + meterSchema + `", "columns": ["vid"]}]}`
+	if _, err := cl.PutObject("gp", StorletContainer, "m.json", strings.NewReader(manifest), nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/admin/deploy?account=gp", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "deployed 1") {
+		t.Fatalf("deploy = %d %q", resp.StatusCode, body)
+	}
+	if _, ok := c.Engine().Get("vid-only"); !ok {
+		t.Error("filter not deployed into engine")
+	}
+	// Missing account.
+	r2, _ := http.Post(srv.URL+"/admin/deploy", "", nil)
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing account = %d", r2.StatusCode)
+	}
+	// GET not allowed.
+	r3, _ := http.Get(srv.URL + "/admin/deploy?account=gp")
+	io.Copy(io.Discard, r3.Body)
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET deploy = %d", r3.StatusCode)
+	}
+	// Unknown endpoint.
+	r4, _ := http.Get(srv.URL + "/admin/nope")
+	io.Copy(io.Discard, r4.Body)
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown endpoint = %d", r4.StatusCode)
+	}
+	// Broken manifest surfaces an error.
+	if _, err := cl.PutObject("gp", StorletContainer, "bad.json", strings.NewReader("junk"), nil); err != nil {
+		t.Fatal(err)
+	}
+	r5, _ := http.Post(srv.URL+"/admin/deploy?account=gp", "", nil)
+	io.Copy(io.Discard, r5.Body)
+	r5.Body.Close()
+	if r5.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken manifest deploy = %d", r5.StatusCode)
+	}
+}

@@ -1,0 +1,222 @@
+package objectstore
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync/atomic"
+
+	"scoop/internal/ring"
+	"scoop/internal/storlet"
+)
+
+// ClusterConfig sizes an in-process store cluster. The paper's testbed runs
+// 6 proxies and 29 object nodes with 10 disks each in a 3-replica ring; the
+// defaults scale that down for one machine while keeping the shape.
+type ClusterConfig struct {
+	Proxies      int
+	ObjectNodes  int
+	DisksPerNode int
+	Replicas     int
+	PartPower    uint
+	Limits       storlet.Limits
+	// DataDir, when set, backs each object node with an on-disk store under
+	// DataDir/<node-name> instead of memory (scoopd persistence).
+	DataDir string
+}
+
+// DefaultClusterConfig returns a small cluster with the testbed's shape.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Proxies:      2,
+		ObjectNodes:  4,
+		DisksPerNode: 2,
+		Replicas:     3,
+		PartPower:    8,
+	}
+}
+
+// Cluster is a complete in-process object store: load balancer, proxies,
+// object nodes, ring and the shared storlet engine.
+type Cluster struct {
+	cfg     ClusterConfig
+	ring    *ring.Ring
+	nodes   []*Node
+	nodeMap map[string]*Node
+	proxies []*Proxy
+	engine  *storlet.Engine
+	reg     *Registry
+
+	next    atomic.Uint64
+	lbBytes atomic.Int64
+}
+
+// NewCluster builds and balances a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Proxies < 1 || cfg.ObjectNodes < 1 {
+		return nil, fmt.Errorf("objectstore: cluster needs at least one proxy and one node")
+	}
+	if cfg.DisksPerNode < 1 {
+		cfg.DisksPerNode = 1
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 3
+	}
+	if cfg.PartPower == 0 {
+		cfg.PartPower = 8
+	}
+	rg, err := ring.New(cfg.PartPower, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	engine := storlet.NewEngine(cfg.Limits)
+	c := &Cluster{cfg: cfg, ring: rg, engine: engine, nodeMap: make(map[string]*Node), reg: NewRegistry()}
+	for i := 0; i < cfg.ObjectNodes; i++ {
+		name := fmt.Sprintf("object-%02d", i)
+		var node *Node
+		if cfg.DataDir != "" {
+			store, err := NewDiskStore(filepath.Join(cfg.DataDir, name))
+			if err != nil {
+				return nil, err
+			}
+			node = NewNodeWithStore(name, store, engine)
+		} else {
+			node = NewNode(name, engine)
+		}
+		c.nodes = append(c.nodes, node)
+		c.nodeMap[name] = node
+		for d := 0; d < cfg.DisksPerNode; d++ {
+			err := rg.AddDevice(ring.Device{
+				ID:   fmt.Sprintf("%s-disk%d", name, d),
+				Node: name,
+				Zone: fmt.Sprintf("zone-%d", i%3),
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := rg.Rebalance(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Proxies; i++ {
+		c.proxies = append(c.proxies, NewProxy(fmt.Sprintf("proxy-%02d", i), rg, c.nodeMap, engine, c.reg))
+	}
+	return c, nil
+}
+
+// Engine returns the cluster's storlet engine for deploying filters.
+func (c *Cluster) Engine() *storlet.Engine { return c.engine }
+
+// Ring returns the placement ring.
+func (c *Cluster) Ring() *ring.Ring { return c.ring }
+
+// Nodes returns the object nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Proxies returns the proxy servers.
+func (c *Cluster) Proxies() []*Proxy { return c.proxies }
+
+// LBBytes returns the bytes that crossed the load balancer toward clients —
+// the inter-cluster traffic the paper's Fig. 9(c) shows saturating a 10 Gbps
+// link without Scoop.
+func (c *Cluster) LBBytes() int64 { return c.lbBytes.Load() }
+
+// ResetStats zeroes every proxy, node and LB counter.
+func (c *Cluster) ResetStats() {
+	c.lbBytes.Store(0)
+	for _, p := range c.proxies {
+		p.ResetStats()
+	}
+	for _, n := range c.nodes {
+		n.ResetStats()
+	}
+}
+
+// NodeStatsTotal aggregates all object-node counters.
+func (c *Cluster) NodeStatsTotal() NodeStats {
+	var total NodeStats
+	for _, n := range c.nodes {
+		s := n.Stats()
+		total.BytesRead += s.BytesRead
+		total.BytesSent += s.BytesSent
+		total.FilterTime += s.FilterTime
+		total.Requests += s.Requests
+		total.FilteredRequests += s.FilteredRequests
+	}
+	return total
+}
+
+// ProxyStatsTotal aggregates all proxy counters.
+func (c *Cluster) ProxyStatsTotal() ProxyStats {
+	var total ProxyStats
+	for _, p := range c.proxies {
+		s := p.Stats()
+		total.Requests += s.Requests
+		total.BytesToClient += s.BytesToClient
+		total.BytesFromNodes += s.BytesFromNodes
+		total.PutBytes += s.PutBytes
+	}
+	return total
+}
+
+// Client returns a load-balancing client that spreads requests across the
+// proxies round-robin (the HA-proxy machine of the testbed) and accounts the
+// traffic crossing the inter-cluster link.
+func (c *Cluster) Client() Client { return &lbClient{c: c} }
+
+type lbClient struct{ c *Cluster }
+
+func (l *lbClient) pick() *Proxy {
+	i := l.c.next.Add(1)
+	return l.c.proxies[int(i)%len(l.c.proxies)]
+}
+
+func (l *lbClient) CreateContainer(account, container string, policy *ContainerPolicy) error {
+	return l.pick().CreateContainer(account, container, policy)
+}
+
+func (l *lbClient) PutObject(account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
+	return l.pick().PutObject(account, container, object, r, meta)
+}
+
+func (l *lbClient) GetObject(account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
+	rc, info, err := l.pick().GetObject(account, container, object, opts)
+	if err != nil {
+		return nil, info, err
+	}
+	return &lbCounted{rc: rc, c: l.c}, info, nil
+}
+
+func (l *lbClient) HeadObject(account, container, object string) (ObjectInfo, error) {
+	return l.pick().HeadObject(account, container, object)
+}
+
+func (l *lbClient) DeleteObject(account, container, object string) error {
+	return l.pick().DeleteObject(account, container, object)
+}
+
+func (l *lbClient) ListObjects(account, container, prefix string) ([]ObjectInfo, error) {
+	return l.pick().ListObjects(account, container, prefix)
+}
+
+func (l *lbClient) ListContainers(account string) ([]string, error) {
+	return l.pick().ListContainers(account)
+}
+
+func (l *lbClient) DeleteContainer(account, container string) error {
+	return l.pick().DeleteContainer(account, container)
+}
+
+type lbCounted struct {
+	rc io.ReadCloser
+	c  *Cluster
+}
+
+func (l *lbCounted) Read(p []byte) (int, error) {
+	n, err := l.rc.Read(p)
+	l.c.lbBytes.Add(int64(n))
+	return n, err
+}
+
+func (l *lbCounted) Close() error { return l.rc.Close() }

@@ -1,0 +1,48 @@
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"scoop/internal/storlet"
+)
+
+// StorletContainer is the reserved per-account container holding filter
+// manifests — the paper's "deploy it as a regular object" workflow: an
+// administrator PUTs a manifest into .storlets and the engine picks it up.
+const StorletContainer = ".storlets"
+
+// DeployStorlets reads every manifest object in the account's .storlets
+// container and deploys it into the engine. Manifests whose filter name is
+// already deployed are skipped (idempotent redeploy). It returns the number
+// of newly deployed filters.
+func DeployStorlets(client Client, account string, engine *storlet.Engine) (int, error) {
+	list, err := client.ListObjects(account, StorletContainer, "")
+	if err != nil {
+		if IsNotFound(err) {
+			return 0, nil // no manifests for this account
+		}
+		return 0, err
+	}
+	deployed := 0
+	for _, obj := range list {
+		rc, _, err := client.GetObject(account, StorletContainer, obj.Name, GetOptions{})
+		if err != nil {
+			return deployed, fmt.Errorf("deploy %s: %w", obj.Name, err)
+		}
+		data, err := io.ReadAll(io.LimitReader(rc, 1<<20))
+		rc.Close()
+		if err != nil {
+			return deployed, fmt.Errorf("deploy %s: %w", obj.Name, err)
+		}
+		if err := engine.DeployManifest(data); err != nil {
+			if errors.Is(err, storlet.ErrAlreadyDeployed) {
+				continue
+			}
+			return deployed, fmt.Errorf("deploy %s: %w", obj.Name, err)
+		}
+		deployed++
+	}
+	return deployed, nil
+}

@@ -1,0 +1,250 @@
+package objectstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"scoop/internal/pushdown"
+)
+
+// HTTPClient implements Client against a store served by Handler — the
+// disaggregated setup of the paper, where compute and storage talk over an
+// inter-cluster network.
+type HTTPClient struct {
+	// BaseURL is the store endpoint, e.g. "http://lb.storage:8080".
+	BaseURL string
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+// NewHTTPClient returns a client for the given endpoint.
+func NewHTTPClient(baseURL string) *HTTPClient {
+	return &HTTPClient{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *HTTPClient) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *HTTPClient) url(parts ...string) string {
+	return c.BaseURL + "/v1/" + strings.Join(parts, "/")
+}
+
+// CreateContainer implements Client.
+func (c *HTTPClient) CreateContainer(account, container string, policy *ContainerPolicy) error {
+	req, err := http.NewRequest(http.MethodPut, c.url(account, container), nil)
+	if err != nil {
+		return err
+	}
+	if policy != nil {
+		if policy.DisablePushdown {
+			req.Header.Set(HeaderDisablePushdown, "true")
+		}
+		if len(policy.PutPipeline) > 0 {
+			enc, err := pushdown.EncodeChain(policy.PutPipeline)
+			if err != nil {
+				return err
+			}
+			req.Header.Set(HeaderPutPipeline, enc)
+		}
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		return nil
+	case http.StatusAccepted:
+		return ErrContainerExists
+	default:
+		return statusErr(resp)
+	}
+}
+
+// PutObject implements Client.
+func (c *HTTPClient) PutObject(account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
+	req, err := http.NewRequest(http.MethodPut, c.url(account, container, object), r)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	for k, v := range meta {
+		req.Header.Set(metaHeaderPrefix+k, v)
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return ObjectInfo{}, statusErr(resp)
+	}
+	// A HEAD round-trip fills in size/etag authoritatively.
+	return c.HeadObject(account, container, object)
+}
+
+// GetObject implements Client.
+func (c *HTTPClient) GetObject(account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
+	req, err := http.NewRequest(http.MethodGet, c.url(account, container, object), nil)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	if opts.RangeStart != 0 || opts.RangeEnd > 0 {
+		if opts.RangeEnd > 0 {
+			req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", opts.RangeStart, opts.RangeEnd-1))
+		} else {
+			req.Header.Set("Range", fmt.Sprintf("bytes=%d-", opts.RangeStart))
+		}
+	}
+	if len(opts.Pushdown) > 0 {
+		enc, err := pushdown.EncodeChain(opts.Pushdown)
+		if err != nil {
+			return nil, ObjectInfo{}, err
+		}
+		req.Header.Set(pushdown.HeaderName, enc)
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		defer drainClose(resp.Body)
+		return nil, ObjectInfo{}, statusErr(resp)
+	}
+	info := ObjectInfo{
+		Account:   account,
+		Container: container,
+		Name:      object,
+		ETag:      resp.Header.Get("ETag"),
+		Size:      resp.ContentLength,
+		Meta:      metaFromHeaders(resp.Header),
+	}
+	return resp.Body, info, nil
+}
+
+// HeadObject implements Client.
+func (c *HTTPClient) HeadObject(account, container, object string) (ObjectInfo, error) {
+	req, err := http.NewRequest(http.MethodHead, c.url(account, container, object), nil)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return ObjectInfo{}, statusErr(resp)
+	}
+	return ObjectInfo{
+		Account:   account,
+		Container: container,
+		Name:      object,
+		ETag:      resp.Header.Get("ETag"),
+		Size:      resp.ContentLength,
+		Meta:      metaFromHeaders(resp.Header),
+	}, nil
+}
+
+// DeleteObject implements Client.
+func (c *HTTPClient) DeleteObject(account, container, object string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.url(account, container, object), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return statusErr(resp)
+	}
+	return nil
+}
+
+// ListObjects implements Client.
+func (c *HTTPClient) ListObjects(account, container, prefix string) ([]ObjectInfo, error) {
+	url := c.url(account, container)
+	if prefix != "" {
+		url += "?prefix=" + prefix
+	}
+	resp, err := c.httpc().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusErr(resp)
+	}
+	var out []ObjectInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("objectstore: decode listing: %w", err)
+	}
+	return out, nil
+}
+
+// ListContainers implements Client.
+func (c *HTTPClient) ListContainers(account string) ([]string, error) {
+	resp, err := c.httpc().Get(c.url(account))
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusErr(resp)
+	}
+	var out []string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("objectstore: decode container listing: %w", err)
+	}
+	return out, nil
+}
+
+// DeleteContainer implements Client.
+func (c *HTTPClient) DeleteContainer(account, container string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.url(account, container), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusConflict:
+		return ErrContainerNotEmpty
+	default:
+		return statusErr(resp)
+	}
+}
+
+// statusErr converts an error response to the store's sentinel errors where
+// possible so errors.Is works across the HTTP boundary.
+func statusErr(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(body))
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w (%s)", ErrNotFound, msg)
+	case http.StatusRequestedRangeNotSatisfiable:
+		return fmt.Errorf("%w (%s)", ErrBadRange, msg)
+	default:
+		return fmt.Errorf("objectstore: http %d: %s", resp.StatusCode, msg)
+	}
+}
+
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 1<<20))
+	rc.Close()
+}

@@ -1,0 +1,197 @@
+package objectstore
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scoop/internal/pushdown"
+	"scoop/internal/storlet"
+)
+
+// NodeStats accounts an object node's work — the storage-side resource
+// consumption the paper measures in Fig. 10 (CPU spent on filters vs. plain
+// serving).
+type NodeStats struct {
+	// BytesRead counts bytes read from local storage.
+	BytesRead int64
+	// BytesSent counts bytes returned to the proxy (post-filter).
+	BytesSent int64
+	// FilterTime is wall time spent inside pushdown filters.
+	FilterTime time.Duration
+	// Requests counts GET requests served.
+	Requests int64
+	// FilteredRequests counts GETs that ran at least one pushdown filter.
+	FilteredRequests int64
+}
+
+// Node is one object server: a storage engine plus the storlet runtime that
+// executes object-stage pushdown filters next to the data.
+type Node struct {
+	name   string
+	store  Store
+	engine *storlet.Engine
+
+	down atomic.Bool
+
+	mu    sync.Mutex
+	stats NodeStats
+}
+
+// NewNode creates a memory-backed object node. Nodes share the engine: in a
+// real deployment the registry is distributed with the filter objects;
+// sharing is the in-process equivalent.
+func NewNode(name string, engine *storlet.Engine) *Node {
+	return NewNodeWithStore(name, NewMemStore(), engine)
+}
+
+// NewNodeWithStore creates an object node over an explicit storage engine
+// (e.g. a DiskStore for persistent deployments).
+func NewNodeWithStore(name string, store Store, engine *storlet.Engine) *Node {
+	return &Node{name: name, store: store, engine: engine}
+}
+
+// Name returns the node's name (its ring identity).
+func (n *Node) Name() string { return n.name }
+
+// SetDown marks the node unavailable (failure injection for replica tests).
+func (n *Node) SetDown(down bool) { n.down.Store(down) }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the counters (benchmarks reuse clusters).
+func (n *Node) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = NodeStats{}
+}
+
+// Put stores a replica of the object.
+func (n *Node) Put(info ObjectInfo, r io.Reader) (ObjectInfo, error) {
+	if n.down.Load() {
+		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	return n.store.Put(info, r)
+}
+
+// Get serves bytes [start, end) of the object, streaming them through the
+// object-stage tasks of the pushdown chain. It returns the (possibly
+// filtered) stream; info describes the stored object, not the stream.
+func (n *Node) Get(path string, start, end int64, tasks []*pushdown.Task) (io.ReadCloser, ObjectInfo, error) {
+	if n.down.Load() {
+		return nil, ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	// Pushdown filters over record-structured data must finish the record
+	// straddling the range end, so a filtered request is given the stream
+	// from start to the object's end; the filter's split logic (RangeEnd)
+	// stops it just past the boundary. Plain ranged GETs stay exact.
+	fetchEnd := end
+	if len(tasks) > 0 {
+		fetchEnd = 0 // store convention: to the object's end
+	}
+	rc, info, err := n.store.Get(path, start, fetchEnd)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	if end <= 0 || end > info.Size {
+		end = info.Size
+	}
+	n.mu.Lock()
+	n.stats.Requests++
+	n.stats.BytesRead += end - start
+	if len(tasks) > 0 {
+		n.stats.FilteredRequests++
+	}
+	n.mu.Unlock()
+	if len(tasks) == 0 {
+		return &countedCloser{rc: rc, node: n}, info, nil
+	}
+	ctx := &storlet.Context{
+		RangeStart: start,
+		RangeEnd:   end,
+		ObjectSize: info.Size,
+	}
+	filterStart := time.Now()
+	out, err := n.engine.RunChain(ctx, tasks, rc)
+	if err != nil {
+		rc.Close()
+		return nil, ObjectInfo{}, fmt.Errorf("node %s: %w", n.name, err)
+	}
+	// The chain never closes its input; tie the store reader's lifetime to
+	// the filtered stream so disk-backed stores don't leak descriptors.
+	return &countedCloser{rc: out, node: n, filterStart: filterStart, filtered: true, also: rc}, info, nil
+}
+
+// Head returns a replica's metadata.
+func (n *Node) Head(path string) (ObjectInfo, error) {
+	if n.down.Load() {
+		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	return n.store.Head(path)
+}
+
+// Delete removes a replica.
+func (n *Node) Delete(path string) error {
+	if n.down.Load() {
+		return fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	n.store.Delete(path)
+	return nil
+}
+
+// List lists replicas by path prefix.
+func (n *Node) List(prefix string) ([]ObjectInfo, error) {
+	if n.down.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	return n.store.List(prefix), nil
+}
+
+// countedCloser accounts outbound bytes and filter wall time as the stream
+// is consumed.
+type countedCloser struct {
+	rc          io.ReadCloser
+	node        *Node
+	n           int64
+	filtered    bool
+	filterStart time.Time
+	closed      bool
+	// also is an extra resource released on Close (the raw store stream
+	// feeding a filter chain).
+	also io.Closer
+}
+
+func (c *countedCloser) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countedCloser) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.node.mu.Lock()
+	c.node.stats.BytesSent += c.n
+	if c.filtered {
+		c.node.stats.FilterTime += time.Since(c.filterStart)
+	}
+	c.node.mu.Unlock()
+	err := c.rc.Close()
+	if c.also != nil {
+		// The chain goroutines may still be draining the store stream;
+		// closing rc (the pipe) stops them first, then this is safe.
+		if aerr := c.also.Close(); err == nil {
+			err = aerr
+		}
+	}
+	return err
+}

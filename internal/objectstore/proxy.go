@@ -1,0 +1,467 @@
+package objectstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"scoop/internal/pushdown"
+	"scoop/internal/ring"
+	"scoop/internal/storlet"
+)
+
+// Registry is the account/container metadata tier shared by all proxies
+// (Swift keeps this on the container/account rings of the proxy-metadata
+// servers; the paper's testbed runs 6 of them over 60 disks).
+type Registry struct {
+	mu       sync.RWMutex
+	accounts map[string]*accountState
+}
+
+// NewRegistry returns an empty metadata registry.
+func NewRegistry() *Registry {
+	return &Registry{accounts: make(map[string]*accountState)}
+}
+
+type accountState struct {
+	containers map[string]*containerState
+}
+
+type containerState struct {
+	policy  ContainerPolicy
+	objects map[string]ObjectInfo
+}
+
+// ProxyStats accounts a proxy's traffic (Fig. 9(c) measures proxy transmit
+// bandwidth with and without Scoop).
+type ProxyStats struct {
+	Requests       int64
+	BytesToClient  int64
+	BytesFromNodes int64
+	PutBytes       int64
+}
+
+// Proxy is a Swift proxy server: it routes object requests through the ring,
+// fans out replication on PUT, serves container metadata from the shared
+// registry, and hosts the proxy-stage storlet runtime.
+type Proxy struct {
+	name   string
+	ring   *ring.Ring
+	nodes  map[string]*Node
+	engine *storlet.Engine
+	reg    *Registry
+
+	statMu sync.Mutex
+	stats  ProxyStats
+}
+
+// NewProxy creates a proxy over the given ring, node set and shared
+// metadata registry.
+func NewProxy(name string, rg *ring.Ring, nodes map[string]*Node, engine *storlet.Engine, reg *Registry) *Proxy {
+	return &Proxy{name: name, ring: rg, nodes: nodes, engine: engine, reg: reg}
+}
+
+// Name returns the proxy's name.
+func (p *Proxy) Name() string { return p.name }
+
+// Stats returns a copy of the proxy's counters.
+func (p *Proxy) Stats() ProxyStats {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the proxy counters.
+func (p *Proxy) ResetStats() {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	p.stats = ProxyStats{}
+}
+
+// CreateContainer implements Client.
+func (p *Proxy) CreateContainer(account, container string, policy *ContainerPolicy) error {
+	if err := validateName(account); err != nil {
+		return err
+	}
+	if err := validateName(container); err != nil {
+		return err
+	}
+	p.reg.mu.Lock()
+	defer p.reg.mu.Unlock()
+	acc, ok := p.reg.accounts[account]
+	if !ok {
+		acc = &accountState{containers: make(map[string]*containerState)}
+		p.reg.accounts[account] = acc
+	}
+	if _, dup := acc.containers[container]; dup {
+		return ErrContainerExists
+	}
+	cs := &containerState{objects: make(map[string]ObjectInfo)}
+	if policy != nil {
+		cs.policy = *policy
+	}
+	acc.containers[container] = cs
+	return nil
+}
+
+func validateName(s string) error {
+	if s == "" || strings.ContainsAny(s, "/ \t\n") {
+		return fmt.Errorf("objectstore: invalid name %q", s)
+	}
+	return nil
+}
+
+func (p *Proxy) container(account, container string) (*containerState, error) {
+	p.reg.mu.RLock()
+	defer p.reg.mu.RUnlock()
+	acc, ok := p.reg.accounts[account]
+	if !ok {
+		return nil, ErrContainerNotFound
+	}
+	cs, ok := acc.containers[container]
+	if !ok {
+		return nil, ErrContainerNotFound
+	}
+	return cs, nil
+}
+
+func (p *Proxy) containerPolicy(account, container string) (ContainerPolicy, error) {
+	cs, err := p.container(account, container)
+	if err != nil {
+		return ContainerPolicy{}, err
+	}
+	p.reg.mu.RLock()
+	defer p.reg.mu.RUnlock()
+	return cs.policy, nil
+}
+
+// PutObject implements Client: it runs the container's PUT pipeline (the
+// upload-path ETL), then replicates the resulting object to every ring
+// replica.
+func (p *Proxy) PutObject(account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
+	cs, err := p.container(account, container)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	policy, err := p.containerPolicy(account, container)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	if err := validateName(object); err != nil {
+		return ObjectInfo{}, err
+	}
+	stream := r
+	if len(policy.PutPipeline) > 0 {
+		ctx := &storlet.Context{RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: -1}
+		rc, err := p.engine.RunChain(ctx, policy.PutPipeline, r)
+		if err != nil {
+			return ObjectInfo{}, fmt.Errorf("put pipeline: %w", err)
+		}
+		defer rc.Close()
+		stream = rc
+	}
+	// Buffer once so the object can be replicated to every node.
+	var buf bytes.Buffer
+	n, err := io.Copy(&buf, stream)
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("objectstore: put %s: %w", object, err)
+	}
+	p.statMu.Lock()
+	p.stats.PutBytes += n
+	p.statMu.Unlock()
+
+	info := ObjectInfo{Account: account, Container: container, Name: object, Meta: cloneMeta(meta)}
+	nodes, err := p.replicaNodes(info.Path())
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	var stored ObjectInfo
+	ok := 0
+	var firstErr error
+	for _, node := range nodes {
+		si, err := node.Put(info, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		stored = si
+		ok++
+	}
+	if ok == 0 {
+		return ObjectInfo{}, fmt.Errorf("objectstore: all replicas failed: %w", firstErr)
+	}
+	p.reg.mu.Lock()
+	cs.objects[object] = stored
+	p.reg.mu.Unlock()
+	return stored, nil
+}
+
+func cloneMeta(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// replicaNodes maps the ring's node names to live Node handles.
+func (p *Proxy) replicaNodes(path string) ([]*Node, error) {
+	names, err := p.ring.NodesFor(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Node, 0, len(names))
+	for _, n := range names {
+		node, ok := p.nodes[n]
+		if !ok {
+			return nil, fmt.Errorf("objectstore: ring references unknown node %q", n)
+		}
+		out = append(out, node)
+	}
+	return out, nil
+}
+
+// GetObject implements Client. Object-stage tasks run at the object server
+// holding the replica; proxy-stage tasks run here, on the way through.
+func (p *Proxy) GetObject(account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
+	policy, err := p.containerPolicy(account, container)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	if len(opts.Pushdown) > 0 && policy.DisablePushdown {
+		return nil, ObjectInfo{}, fmt.Errorf("objectstore: pushdown disabled for container %s/%s", account, container)
+	}
+	for _, t := range opts.Pushdown {
+		if err := t.Validate(); err != nil {
+			return nil, ObjectInfo{}, err
+		}
+	}
+	objectStage, proxyStage := splitByStage(opts.Pushdown)
+
+	path := "/" + account + "/" + container + "/" + object
+	nodes, err := p.replicaNodes(path)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	var rc io.ReadCloser
+	var info ObjectInfo
+	var lastErr error = ErrNotFound
+	for _, node := range nodes {
+		rc, info, err = node.Get(path, opts.RangeStart, opts.RangeEnd, objectStage)
+		if err == nil {
+			break
+		}
+		lastErr = err
+		rc = nil
+	}
+	if rc == nil {
+		return nil, ObjectInfo{}, lastErr
+	}
+	p.statMu.Lock()
+	p.stats.Requests++
+	p.statMu.Unlock()
+	counted := &proxyCounted{rc: rc, p: p, toClient: len(proxyStage) == 0}
+	if len(proxyStage) == 0 {
+		return counted, info, nil
+	}
+	// Proxy-stage filters see the (possibly already filtered) stream, not
+	// raw object bytes. Their range covers the whole derived stream unless
+	// no object-stage filter ran, in which case the original byte range
+	// still describes the stream.
+	ctx := &storlet.Context{RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: info.Size}
+	if len(objectStage) == 0 {
+		end := opts.RangeEnd
+		if end <= 0 || end > info.Size {
+			end = info.Size
+		}
+		ctx.RangeStart, ctx.RangeEnd = opts.RangeStart, end
+	}
+	out, err := p.engine.RunChain(ctx, proxyStage, counted)
+	if err != nil {
+		counted.Close()
+		return nil, ObjectInfo{}, err
+	}
+	return &proxyOutCounted{rc: out, p: p, inner: counted}, info, nil
+}
+
+// splitByStage partitions a chain by execution tier, preserving order within
+// each tier. Default stage is the object server (data locality).
+func splitByStage(tasks []*pushdown.Task) (objectStage, proxyStage []*pushdown.Task) {
+	for _, t := range tasks {
+		if t.Stage == pushdown.StageProxy {
+			proxyStage = append(proxyStage, t)
+		} else {
+			objectStage = append(objectStage, t)
+		}
+	}
+	return objectStage, proxyStage
+}
+
+// HeadObject implements Client.
+func (p *Proxy) HeadObject(account, container, object string) (ObjectInfo, error) {
+	cs, err := p.container(account, container)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	p.reg.mu.RLock()
+	defer p.reg.mu.RUnlock()
+	info, ok := cs.objects[object]
+	if !ok {
+		return ObjectInfo{}, ErrNotFound
+	}
+	return info, nil
+}
+
+// DeleteObject implements Client.
+func (p *Proxy) DeleteObject(account, container, object string) error {
+	cs, err := p.container(account, container)
+	if err != nil {
+		return err
+	}
+	path := "/" + account + "/" + container + "/" + object
+	nodes, err := p.replicaNodes(path)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for _, n := range nodes {
+		if err := n.Delete(path); err != nil {
+			lastErr = err
+		}
+	}
+	p.reg.mu.Lock()
+	delete(cs.objects, object)
+	p.reg.mu.Unlock()
+	return lastErr
+}
+
+// ListObjects implements Client using the proxy-tier container index (Swift
+// keeps container listings on the metadata tier, not on object servers).
+func (p *Proxy) ListObjects(account, container, prefix string) ([]ObjectInfo, error) {
+	cs, err := p.container(account, container)
+	if err != nil {
+		return nil, err
+	}
+	p.reg.mu.RLock()
+	defer p.reg.mu.RUnlock()
+	var out []ObjectInfo
+	for name, info := range cs.objects {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ListContainers implements Client.
+func (p *Proxy) ListContainers(account string) ([]string, error) {
+	p.reg.mu.RLock()
+	defer p.reg.mu.RUnlock()
+	acc, ok := p.reg.accounts[account]
+	if !ok {
+		return nil, ErrContainerNotFound
+	}
+	out := make([]string, 0, len(acc.containers))
+	for name := range acc.containers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DeleteContainer implements Client.
+func (p *Proxy) DeleteContainer(account, container string) error {
+	p.reg.mu.Lock()
+	defer p.reg.mu.Unlock()
+	acc, ok := p.reg.accounts[account]
+	if !ok {
+		return ErrContainerNotFound
+	}
+	cs, ok := acc.containers[container]
+	if !ok {
+		return ErrContainerNotFound
+	}
+	if len(cs.objects) > 0 {
+		return fmt.Errorf("%w: %d objects remain", ErrContainerNotEmpty, len(cs.objects))
+	}
+	delete(acc.containers, container)
+	return nil
+}
+
+// proxyCounted accounts bytes arriving from object nodes; absent proxy-stage
+// filtering the same bytes continue to the client. The counter is atomic
+// because in the proxy-stage path a filter goroutine reads this stream while
+// the client goroutine closes it.
+type proxyCounted struct {
+	rc       io.ReadCloser
+	p        *Proxy
+	n        atomic.Int64
+	closed   atomic.Bool
+	toClient bool // whether these bytes also count as client traffic
+}
+
+func (c *proxyCounted) Read(b []byte) (int, error) {
+	n, err := c.rc.Read(b)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *proxyCounted) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	n := c.n.Load()
+	c.p.statMu.Lock()
+	c.p.stats.BytesFromNodes += n
+	if c.toClient {
+		c.p.stats.BytesToClient += n
+	}
+	c.p.statMu.Unlock()
+	return c.rc.Close()
+}
+
+// proxyOutCounted accounts post-proxy-filter bytes to the client. Closing it
+// tears down the filter chain and then flushes the inner node-side counter
+// (the storlet engine never closes its input stream).
+type proxyOutCounted struct {
+	rc     io.ReadCloser
+	p      *Proxy
+	inner  *proxyCounted
+	n      int64
+	closed bool
+}
+
+func (c *proxyOutCounted) Read(b []byte) (int, error) {
+	n, err := c.rc.Read(b)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *proxyOutCounted) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	err := c.rc.Close() // stops the chain; the filter's next read/write fails
+	c.inner.Close()     // flush node->proxy accounting
+	c.p.statMu.Lock()
+	c.p.stats.BytesToClient += c.n
+	c.p.statMu.Unlock()
+	return err
+}
+
+// IsNotFound reports whether err means the object or container is missing.
+func IsNotFound(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrContainerNotFound)
+}

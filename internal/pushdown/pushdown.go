@@ -1,0 +1,275 @@
+// Package pushdown defines the wire representation of a *pushdown task*: the
+// piece of metadata the analytics delegator attaches to an object request so
+// the object store executes a filter close to the data (paper §IV-A).
+//
+// A task names the pushdown filter to run (e.g. "csv"), the projection
+// (columns to keep) and the selection (simple predicates) extracted by the
+// Catalyst-style optimizer, plus free-form options. Tasks are serialized into
+// a single HTTP header (base64-encoded JSON) so that the object store needs
+// no API changes — exactly how Scoop piggybacks metadata on Swift GETs.
+package pushdown
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"scoop/internal/sql/types"
+)
+
+// HeaderName is the HTTP header carrying a serialized pushdown task on object
+// GET/PUT requests.
+const HeaderName = "X-Scoop-Pushdown"
+
+// Op is a predicate comparison operator.
+type Op string
+
+// Predicate operators supported by pushdown filters.
+const (
+	OpEq      Op = "eq"
+	OpNe      Op = "ne"
+	OpLt      Op = "lt"
+	OpLe      Op = "le"
+	OpGt      Op = "gt"
+	OpGe      Op = "ge"
+	OpLike    Op = "like"
+	OpIsNull  Op = "isnull"
+	OpNotNull Op = "notnull"
+	OpIn      Op = "in"
+)
+
+// Predicate is a simple selection of the form <column> <op> <literal>. Only
+// conjunctions of such predicates are pushable; anything richer stays in the
+// compute-side residual plan, mirroring Spark's Data Sources filter model.
+type Predicate struct {
+	// Column is the name of the column the predicate applies to.
+	Column string `json:"col"`
+	// Op is the comparison operator.
+	Op Op `json:"op"`
+	// Value is the literal operand rendered as text. For OpIn it is unused
+	// and Values holds the list. Numeric predicates set Numeric.
+	Value string `json:"val,omitempty"`
+	// Values holds the IN list.
+	Values []string `json:"vals,omitempty"`
+	// Numeric marks that the comparison is numeric rather than lexicographic.
+	Numeric bool `json:"num,omitempty"`
+}
+
+// String renders the predicate for diagnostics.
+func (p Predicate) String() string {
+	switch p.Op {
+	case OpIsNull:
+		return p.Column + " IS NULL"
+	case OpNotNull:
+		return p.Column + " IS NOT NULL"
+	case OpIn:
+		return p.Column + " IN (" + strings.Join(p.Values, ",") + ")"
+	default:
+		return fmt.Sprintf("%s %s %q", p.Column, p.Op, p.Value)
+	}
+}
+
+// Task is the work delegated to the object store for one object request.
+type Task struct {
+	// Filter names the registered pushdown filter to execute (e.g. "csv").
+	Filter string `json:"filter"`
+	// Columns is the projection: names of columns to keep, in output order.
+	// Empty means all columns.
+	Columns []string `json:"cols,omitempty"`
+	// Predicates is the selection: rows must satisfy ALL predicates.
+	Predicates []Predicate `json:"preds,omitempty"`
+	// Schema declares column names and types ("name type, ..."), needed by
+	// filters that operate on raw data without self-describing structure.
+	Schema string `json:"schema,omitempty"`
+	// Options carries filter-specific parameters (e.g. CSV delimiter).
+	Options map[string]string `json:"opts,omitempty"`
+	// Stage requests where the filter runs: "object" (default; at the object
+	// server, exploiting data locality) or "proxy" (paper §V: staging
+	// execution control).
+	Stage string `json:"stage,omitempty"`
+}
+
+// Stages.
+const (
+	StageObject = "object"
+	StageProxy  = "proxy"
+)
+
+// Encode serializes the task for transport in an HTTP header.
+func (t *Task) Encode() (string, error) {
+	raw, err := json.Marshal(t)
+	if err != nil {
+		return "", fmt.Errorf("pushdown: encode: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(raw), nil
+}
+
+// EncodeChain serializes a pipeline of tasks for transport in one header.
+// Tasks run in order: the first filter consumes the object stream, each
+// subsequent filter consumes the previous filter's output (paper §IV-B:
+// "Scoop is able to execute several pushdown filters on a single request").
+func EncodeChain(tasks []*Task) (string, error) {
+	parts := make([]string, len(tasks))
+	for i, t := range tasks {
+		enc, err := t.Encode()
+		if err != nil {
+			return "", err
+		}
+		parts[i] = enc
+	}
+	return strings.Join(parts, ";"), nil
+}
+
+// DecodeChain parses a header value holding one or more tasks.
+func DecodeChain(s string) ([]*Task, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("pushdown: empty task chain")
+	}
+	parts := strings.Split(s, ";")
+	out := make([]*Task, len(parts))
+	for i, p := range parts {
+		t, err := Decode(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Decode parses a task previously produced by Encode.
+func Decode(s string) (*Task, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("pushdown: decode: %w", err)
+	}
+	var t Task
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("pushdown: decode: %w", err)
+	}
+	if t.Filter == "" {
+		return nil, fmt.Errorf("pushdown: task missing filter name")
+	}
+	return &t, nil
+}
+
+// Validate checks internal consistency of the task.
+func (t *Task) Validate() error {
+	if t.Filter == "" {
+		return fmt.Errorf("pushdown: empty filter name")
+	}
+	if t.Stage != "" && t.Stage != StageObject && t.Stage != StageProxy {
+		return fmt.Errorf("pushdown: bad stage %q", t.Stage)
+	}
+	for _, p := range t.Predicates {
+		switch p.Op {
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike, OpIsNull, OpNotNull, OpIn:
+		default:
+			return fmt.Errorf("pushdown: bad predicate op %q", p.Op)
+		}
+		if p.Column == "" {
+			return fmt.Errorf("pushdown: predicate missing column")
+		}
+	}
+	return nil
+}
+
+// Matches evaluates the predicate against a single value. The caller resolves
+// the column to the value; NULL is represented by ok=false from the resolver.
+// It implements SQL semantics: comparisons against NULL are not satisfied
+// (except IS NULL).
+func (p Predicate) Matches(raw string, null bool) bool {
+	switch p.Op {
+	case OpIsNull:
+		return null || raw == ""
+	case OpNotNull:
+		return !null && raw != ""
+	}
+	if null {
+		return false
+	}
+	if p.Op == OpIn {
+		for _, v := range p.Values {
+			if matchOne(OpEq, raw, v, p.Numeric) {
+				return true
+			}
+		}
+		return false
+	}
+	return matchOne(p.Op, raw, p.Value, p.Numeric)
+}
+
+func matchOne(op Op, raw, lit string, numeric bool) bool {
+	if op == OpLike {
+		return likeMatch(raw, lit)
+	}
+	var cmp int
+	if numeric {
+		a, aok := parseFloat(raw)
+		b, bok := parseFloat(lit)
+		if !aok || !bok {
+			return false // non-numeric field never satisfies a numeric predicate
+		}
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(raw, lit)
+	}
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+func parseFloat(s string) (float64, bool) {
+	v := types.Coerce(strings.TrimSpace(s), types.Float)
+	if v.IsNull() {
+		return 0, false
+	}
+	return v.F, true
+}
+
+// likeMatch duplicates expr.LikeMatch so the storage-side filter code does
+// not depend on the SQL engine (the paper's CSVStorlet is a standalone
+// artifact deployed into the store).
+func likeMatch(s, p string) bool {
+	var si, pi int
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			sBack++
+			si = sBack
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

@@ -1,0 +1,250 @@
+// Package ring implements Swift-style consistent-hash placement: a fixed
+// number of partitions (2^partPower) is distributed over weighted devices,
+// and each partition is assigned to R distinct devices, spreading replicas
+// across zones when possible. Object paths hash to partitions, so adding
+// devices moves only a proportional share of partitions — the property that
+// gives Swift its horizontal scalability (paper §III-B).
+package ring
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Device is one disk in the cluster.
+type Device struct {
+	// ID uniquely identifies the device.
+	ID string
+	// Node names the server hosting the device; replica placement avoids
+	// co-locating replicas on one node when it can.
+	Node string
+	// Zone groups nodes into failure domains; replicas prefer distinct zones.
+	Zone string
+	// Weight biases how many partitions the device receives (proportional).
+	Weight float64
+}
+
+// Ring maps object paths to replica device sets.
+type Ring struct {
+	mu         sync.RWMutex
+	partPower  uint
+	replicas   int
+	devices    []Device
+	deviceByID map[string]int
+	// assignment[p][r] is the device index serving replica r of partition p.
+	assignment [][]int
+}
+
+// New creates a ring with 2^partPower partitions and the given replica
+// count. Swift defaults to 3 replicas; the paper's testbed uses a 3-replica
+// object ring.
+func New(partPower uint, replicas int) (*Ring, error) {
+	if partPower < 1 || partPower > 20 {
+		return nil, fmt.Errorf("ring: partPower %d out of range [1,20]", partPower)
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("ring: replicas must be >= 1")
+	}
+	return &Ring{
+		partPower:  partPower,
+		replicas:   replicas,
+		deviceByID: make(map[string]int),
+	}, nil
+}
+
+// Partitions returns the number of partitions.
+func (r *Ring) Partitions() int { return 1 << r.partPower }
+
+// Replicas returns the replica count.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// AddDevice registers a device. Call Rebalance afterwards to assign
+// partitions.
+func (r *Ring) AddDevice(d Device) error {
+	if d.ID == "" {
+		return fmt.Errorf("ring: device needs an ID")
+	}
+	if d.Weight <= 0 {
+		d.Weight = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.deviceByID[d.ID]; dup {
+		return fmt.Errorf("ring: duplicate device %q", d.ID)
+	}
+	r.deviceByID[d.ID] = len(r.devices)
+	r.devices = append(r.devices, d)
+	return nil
+}
+
+// Devices returns a copy of the registered devices.
+func (r *Ring) Devices() []Device {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Device(nil), r.devices...)
+}
+
+// Rebalance (re)assigns every partition replica to a device, balancing by
+// weight and spreading replicas across zones, then nodes. It must be called
+// after device changes and before lookups.
+func (r *Ring) Rebalance() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.devices)
+	if n == 0 {
+		return fmt.Errorf("ring: no devices")
+	}
+	parts := 1 << r.partPower
+
+	// Desired partition-replica count per device, proportional to weight.
+	var totalWeight float64
+	for _, d := range r.devices {
+		totalWeight += d.Weight
+	}
+	want := make([]float64, n)
+	for i, d := range r.devices {
+		want[i] = float64(parts*r.replicas) * d.Weight / totalWeight
+	}
+	got := make([]int, n)
+
+	assignment := make([][]int, parts)
+	for p := 0; p < parts; p++ {
+		assignment[p] = make([]int, r.replicas)
+		usedZones := make(map[string]bool, r.replicas)
+		usedNodes := make(map[string]bool, r.replicas)
+		usedDevs := make(map[int]bool, r.replicas)
+		for rep := 0; rep < r.replicas; rep++ {
+			best := -1
+			bestScore := 0.0
+			for i, d := range r.devices {
+				if usedDevs[i] && n > r.replicas {
+					continue
+				}
+				// Most-underfilled device wins; zone/node conflicts are
+				// penalized but tolerated on small clusters.
+				score := want[i] - float64(got[i])
+				if usedZones[d.Zone] {
+					score -= float64(parts)
+				}
+				if usedNodes[d.Node] {
+					score -= float64(parts)
+				}
+				if usedDevs[i] {
+					score -= float64(parts) * 4
+				}
+				if best == -1 || score > bestScore {
+					best = i
+					bestScore = score
+				}
+			}
+			assignment[p][rep] = best
+			got[best]++
+			usedZones[r.devices[best].Zone] = true
+			usedNodes[r.devices[best].Node] = true
+			usedDevs[best] = true
+		}
+	}
+	r.assignment = assignment
+	return nil
+}
+
+// Partition returns the partition an object path belongs to. Swift hashes
+// the full /account/container/object path with md5 and takes the top bits.
+func (r *Ring) Partition(path string) int {
+	sum := md5.Sum([]byte(path))
+	v := binary.BigEndian.Uint32(sum[:4])
+	return int(v >> (32 - r.partPower))
+}
+
+// Get returns the replica devices for an object path, primary first.
+func (r *Ring) Get(path string) ([]Device, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.assignment == nil {
+		return nil, fmt.Errorf("ring: not rebalanced")
+	}
+	p := r.Partition(path)
+	out := make([]Device, len(r.assignment[p]))
+	for i, di := range r.assignment[p] {
+		out[i] = r.devices[di]
+	}
+	return out, nil
+}
+
+// Stats summarizes the partition distribution per device, for balance tests
+// and the ring CLI.
+func (r *Ring) Stats() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.devices))
+	for _, reps := range r.assignment {
+		for _, di := range reps {
+			out[r.devices[di].ID]++
+		}
+	}
+	return out
+}
+
+// NodesFor returns the distinct node names holding replicas of path, primary
+// first — what a proxy dials.
+func (r *Ring) NodesFor(path string) ([]string, error) {
+	devs, err := r.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, d := range devs {
+		if !seen[d.Node] {
+			seen[d.Node] = true
+			out = append(out, d.Node)
+		}
+	}
+	return out, nil
+}
+
+// Balance returns the ratio of the most-loaded device's partition count to
+// the ideal count (1.0 is perfect balance), considering weights.
+func (r *Ring) Balance() float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.assignment == nil || len(r.devices) == 0 {
+		return 0
+	}
+	counts := make(map[int]int)
+	for _, reps := range r.assignment {
+		for _, di := range reps {
+			counts[di]++
+		}
+	}
+	var totalWeight float64
+	for _, d := range r.devices {
+		totalWeight += d.Weight
+	}
+	parts := 1 << r.partPower
+	worst := 0.0
+	for i, d := range r.devices {
+		ideal := float64(parts*r.replicas) * d.Weight / totalWeight
+		if ideal == 0 {
+			continue
+		}
+		ratio := float64(counts[i]) / ideal
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst
+}
+
+// sortedDeviceIDs helps tests assert deterministic iteration.
+func (r *Ring) sortedDeviceIDs() []string {
+	ids := make([]string, 0, len(r.devices))
+	for _, d := range r.devices {
+		ids = append(ids, d.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,247 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func buildRing(t *testing.T, nodes, disksPerNode int, partPower uint, replicas int) *Ring {
+	t.Helper()
+	r, err := New(partPower, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nodes; n++ {
+		for d := 0; d < disksPerNode; d++ {
+			err := r.AddDevice(Device{
+				ID:   fmt.Sprintf("n%d-d%d", n, d),
+				Node: fmt.Sprintf("node%d", n),
+				Zone: fmt.Sprintf("z%d", n%3),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("partPower 0 should fail")
+	}
+	if _, err := New(25, 3); err == nil {
+		t.Error("partPower 25 should fail")
+	}
+	if _, err := New(8, 0); err == nil {
+		t.Error("replicas 0 should fail")
+	}
+}
+
+func TestAddDeviceValidation(t *testing.T) {
+	r, _ := New(8, 3)
+	if err := r.AddDevice(Device{}); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if err := r.AddDevice(Device{ID: "a", Node: "n", Zone: "z"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddDevice(Device{ID: "a", Node: "n2", Zone: "z2"}); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+}
+
+func TestLookupBeforeRebalance(t *testing.T) {
+	r, _ := New(8, 3)
+	_ = r.AddDevice(Device{ID: "a", Node: "n", Zone: "z"})
+	if _, err := r.Get("/acc/c/o"); err == nil {
+		t.Error("Get before Rebalance should fail")
+	}
+	empty, _ := New(8, 3)
+	if err := empty.Rebalance(); err == nil {
+		t.Error("Rebalance with no devices should fail")
+	}
+}
+
+func TestReplicaDistinctness(t *testing.T) {
+	// Paper testbed scale-down: 29 object nodes x 10 disks, 3 replicas.
+	r := buildRing(t, 29, 10, 10, 3)
+	for i := 0; i < 500; i++ {
+		path := fmt.Sprintf("/gridpocket/meters/object-%d", i)
+		devs, err := r.Get(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(devs) != 3 {
+			t.Fatalf("replicas = %d", len(devs))
+		}
+		nodes := map[string]bool{}
+		for _, d := range devs {
+			nodes[d.Node] = true
+		}
+		if len(nodes) != 3 {
+			t.Errorf("path %s: replicas on %d distinct nodes, want 3", path, len(nodes))
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := buildRing(t, 10, 4, 12, 3)
+	if b := r.Balance(); b > 1.15 {
+		t.Errorf("balance = %v, want <= 1.15", b)
+	}
+	stats := r.Stats()
+	if len(stats) != 40 {
+		t.Errorf("stats devices = %d", len(stats))
+	}
+	total := 0
+	for _, n := range stats {
+		total += n
+	}
+	if total != r.Partitions()*r.Replicas() {
+		t.Errorf("total assignments = %d, want %d", total, r.Partitions()*r.Replicas())
+	}
+}
+
+func TestWeightedBalance(t *testing.T) {
+	r, _ := New(12, 2)
+	_ = r.AddDevice(Device{ID: "big", Node: "n1", Zone: "z1", Weight: 3})
+	_ = r.AddDevice(Device{ID: "small", Node: "n2", Zone: "z2", Weight: 1})
+	_ = r.AddDevice(Device{ID: "mid", Node: "n3", Zone: "z3", Weight: 2})
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	stats := r.Stats()
+	if !(stats["big"] > stats["mid"] && stats["mid"] > stats["small"]) {
+		t.Errorf("weighted distribution wrong: %v", stats)
+	}
+	if b := r.Balance(); b > 1.1 {
+		t.Errorf("weighted balance = %v", b)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	r := buildRing(t, 4, 2, 8, 3)
+	p1 := r.Partition("/a/c/o")
+	p2 := r.Partition("/a/c/o")
+	if p1 != p2 {
+		t.Error("Partition not deterministic")
+	}
+	if p1 < 0 || p1 >= r.Partitions() {
+		t.Errorf("partition %d out of range", p1)
+	}
+}
+
+// Property: partition is always in range for arbitrary paths.
+func TestPartitionRangeProperty(t *testing.T) {
+	r := buildRing(t, 4, 2, 8, 3)
+	f := func(path string) bool {
+		p := r.Partition(path)
+		return p >= 0 && p < r.Partitions()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFewerDevicesThanReplicas(t *testing.T) {
+	// A 2-device ring with 3 replicas must still assign every replica
+	// (Swift tolerates this in tiny dev clusters).
+	r, _ := New(6, 3)
+	_ = r.AddDevice(Device{ID: "a", Node: "n1", Zone: "z1"})
+	_ = r.AddDevice(Device{ID: "b", Node: "n2", Zone: "z2"})
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	devs, err := r.Get("/a/c/o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 3 {
+		t.Fatalf("replicas = %d", len(devs))
+	}
+	nodes, err := r.NodesFor("/a/c/o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("distinct nodes = %v", nodes)
+	}
+}
+
+func TestStabilityAcrossRebalance(t *testing.T) {
+	// Same devices, same order: identical assignment (determinism).
+	a := buildRing(t, 5, 2, 8, 3)
+	b := buildRing(t, 5, 2, 8, 3)
+	for i := 0; i < 100; i++ {
+		path := fmt.Sprintf("/a/c/%d", i)
+		da, _ := a.Get(path)
+		db, _ := b.Get(path)
+		for r := range da {
+			if da[r].ID != db[r].ID {
+				t.Fatalf("path %s replica %d differs: %s vs %s", path, r, da[r].ID, db[r].ID)
+			}
+		}
+	}
+}
+
+// Consistent-hashing property: adding one node to an N-node ring moves only
+// a bounded share of partition assignments (Swift's scalability argument in
+// the paper's §III-B). The greedy assignment is not minimal-movement, but
+// the bulk of placements must survive.
+func TestIncrementalRebalanceMovesBoundedShare(t *testing.T) {
+	build := func(nodes int) *Ring {
+		r, _ := New(10, 3)
+		for n := 0; n < nodes; n++ {
+			for d := 0; d < 2; d++ {
+				_ = r.AddDevice(Device{
+					ID:   fmt.Sprintf("n%d-d%d", n, d),
+					Node: fmt.Sprintf("node%d", n),
+					Zone: fmt.Sprintf("z%d", n%3),
+				})
+			}
+		}
+		if err := r.Rebalance(); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	before := build(10)
+	after := build(11)
+	total, moved := 0, 0
+	for i := 0; i < 2000; i++ {
+		path := fmt.Sprintf("/a/c/obj-%d", i)
+		da, _ := before.Get(path)
+		db, _ := after.Get(path)
+		prev := map[string]bool{}
+		for _, d := range da {
+			prev[d.ID] = true
+		}
+		for _, d := range db {
+			total++
+			if !prev[d.ID] {
+				moved++
+			}
+		}
+	}
+	frac := float64(moved) / float64(total)
+	if frac > 0.5 {
+		t.Errorf("adding 1 of 11 nodes moved %.0f%% of replica placements", 100*frac)
+	}
+}
+
+func TestDevicesCopy(t *testing.T) {
+	r := buildRing(t, 2, 1, 6, 2)
+	devs := r.Devices()
+	devs[0].ID = "mutated"
+	if r.Devices()[0].ID == "mutated" {
+		t.Error("Devices returned internal slice")
+	}
+	if len(r.sortedDeviceIDs()) != 2 {
+		t.Error("sortedDeviceIDs")
+	}
+}

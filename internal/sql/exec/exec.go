@@ -1,0 +1,577 @@
+// Package exec runs the residual (compute-side) part of an analyzed plan:
+// the filtering not pushed to the object store, projection, aggregation,
+// HAVING, DISTINCT, ORDER BY and LIMIT. In the paper's workflow this is the
+// processing that remains on Spark workers and the driver after Swift has
+// returned filtered data.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"scoop/internal/sql/expr"
+	"scoop/internal/sql/parser"
+	"scoop/internal/sql/plan"
+	"scoop/internal/sql/types"
+)
+
+// Iterator yields rows until io.EOF.
+type Iterator interface {
+	// Next returns the next row or io.EOF when exhausted.
+	Next() (types.Row, error)
+	// Close releases resources. Safe to call multiple times.
+	Close() error
+}
+
+// SliceIterator iterates over an in-memory row slice.
+type SliceIterator struct {
+	rows []types.Row
+	i    int
+}
+
+// NewSliceIterator returns an Iterator over rows.
+func NewSliceIterator(rows []types.Row) *SliceIterator {
+	return &SliceIterator{rows: rows}
+}
+
+// Next implements Iterator.
+func (s *SliceIterator) Next() (types.Row, error) {
+	if s.i >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, nil
+}
+
+// Close implements Iterator.
+func (s *SliceIterator) Close() error { return nil }
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	Schema *types.Schema
+	Rows   []types.Row
+}
+
+// Execute runs the residual plan over input rows (already pruned to
+// p.Read's layout and already filtered by any pushed predicates).
+func Execute(p *plan.Plan, input Iterator) (*Result, error) {
+	defer input.Close()
+
+	filtered, err := applyResidual(p, input)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []keyedRow
+	if p.Aggregate {
+		out, err = aggregate(p, filtered)
+	} else {
+		out, err = project(p, filtered)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if p.Sel.Distinct {
+		out = distinct(out)
+	}
+	if len(p.OrderBy) > 0 {
+		sortRows(out, p.OrderBy)
+	}
+	if p.Sel.Limit >= 0 && int64(len(out)) > p.Sel.Limit {
+		out = out[:p.Sel.Limit]
+	}
+	rows := make([]types.Row, len(out))
+	for i, kr := range out {
+		rows[i] = kr.row
+	}
+	return &Result{Schema: p.Output, Rows: rows}, nil
+}
+
+// keyedRow pairs an output row with its ORDER BY key values.
+type keyedRow struct {
+	row  types.Row
+	keys []types.Value
+}
+
+func applyResidual(p *plan.Plan, input Iterator) ([]types.Row, error) {
+	var rows []types.Row
+	for {
+		r, err := input.Next()
+		if errors.Is(err, io.EOF) {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if p.Residual != nil {
+			ok, err := expr.EvalPredicate(p.Residual, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		rows = append(rows, r)
+	}
+}
+
+func project(p *plan.Plan, rows []types.Row) ([]keyedRow, error) {
+	out := make([]keyedRow, 0, len(rows))
+	for _, r := range rows {
+		outRow := make(types.Row, len(p.Items))
+		for i, it := range p.Items {
+			v, err := it.Expr.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			outRow[i] = v
+		}
+		keys, err := orderKeys(p.OrderBy, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, keyedRow{row: outRow, keys: keys})
+	}
+	return out, nil
+}
+
+func orderKeys(orderBy []parser.OrderItem, r types.Row) ([]types.Value, error) {
+	if len(orderBy) == 0 {
+		return nil, nil
+	}
+	keys := make([]types.Value, len(orderBy))
+	for i, o := range orderBy {
+		v, err := o.Expr.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// --- Aggregation ---
+
+// accumulator updates one aggregate over a group's rows.
+type accumulator interface {
+	add(row types.Row) error
+	value() types.Value
+}
+
+func newAccumulator(c *expr.Call) (accumulator, error) {
+	name := strings.ToUpper(c.Name)
+	if name == "COUNT" {
+		if len(c.Args) != 1 {
+			return nil, fmt.Errorf("exec: COUNT wants 1 arg")
+		}
+		if _, ok := c.Args[0].(expr.Star); ok {
+			if c.Distinct {
+				return nil, fmt.Errorf("exec: COUNT(DISTINCT *) is not valid")
+			}
+			return &countAcc{star: true}, nil
+		}
+		if c.Distinct {
+			return &distinctAcc{arg: c.Args[0], count: true}, nil
+		}
+		return &countAcc{arg: c.Args[0]}, nil
+	}
+	if len(c.Args) != 1 {
+		return nil, fmt.Errorf("exec: %s wants 1 arg, got %d", name, len(c.Args))
+	}
+	arg := c.Args[0]
+	if c.Distinct {
+		if name != "SUM" {
+			return nil, fmt.Errorf("exec: DISTINCT is supported for COUNT and SUM, not %s", name)
+		}
+		return &distinctAcc{arg: arg}, nil
+	}
+	switch name {
+	case "SUM":
+		return &sumAcc{arg: arg}, nil
+	case "AVG":
+		return &avgAcc{arg: arg}, nil
+	case "MIN":
+		return &minMaxAcc{arg: arg, min: true}, nil
+	case "MAX":
+		return &minMaxAcc{arg: arg}, nil
+	case "FIRST_VALUE":
+		return &firstAcc{arg: arg}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown aggregate %q", name)
+	}
+}
+
+type countAcc struct {
+	star bool
+	arg  expr.Expr
+	n    int64
+}
+
+func (a *countAcc) add(row types.Row) error {
+	if a.star {
+		a.n++
+		return nil
+	}
+	v, err := a.arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if !v.IsNull() {
+		a.n++
+	}
+	return nil
+}
+
+func (a *countAcc) value() types.Value { return types.IntV(a.n) }
+
+type sumAcc struct {
+	arg expr.Expr
+	sum float64
+	any bool
+}
+
+func (a *sumAcc) add(row types.Row) error {
+	v, err := a.arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return nil // non-numeric values are ignored, like SQL casts failing to NULL
+	}
+	a.sum += f
+	a.any = true
+	return nil
+}
+
+func (a *sumAcc) value() types.Value {
+	if !a.any {
+		return types.NullValue()
+	}
+	return types.FloatV(a.sum)
+}
+
+type avgAcc struct {
+	arg expr.Expr
+	sum float64
+	n   int64
+}
+
+func (a *avgAcc) add(row types.Row) error {
+	v, err := a.arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return nil
+	}
+	a.sum += f
+	a.n++
+	return nil
+}
+
+func (a *avgAcc) value() types.Value {
+	if a.n == 0 {
+		return types.NullValue()
+	}
+	return types.FloatV(a.sum / float64(a.n))
+}
+
+type minMaxAcc struct {
+	arg  expr.Expr
+	min  bool
+	best types.Value
+	any  bool
+}
+
+func (a *minMaxAcc) add(row types.Row) error {
+	v, err := a.arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if !a.any {
+		a.best = v
+		a.any = true
+		return nil
+	}
+	c := v.Compare(a.best)
+	if (a.min && c < 0) || (!a.min && c > 0) {
+		a.best = v
+	}
+	return nil
+}
+
+func (a *minMaxAcc) value() types.Value {
+	if !a.any {
+		return types.NullValue()
+	}
+	return a.best
+}
+
+type firstAcc struct {
+	arg expr.Expr
+	v   types.Value
+	any bool
+}
+
+func (a *firstAcc) add(row types.Row) error {
+	if a.any {
+		return nil
+	}
+	v, err := a.arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // first non-null, matching Spark's ignoreNulls-friendly use
+	}
+	a.v = v
+	a.any = true
+	return nil
+}
+
+func (a *firstAcc) value() types.Value {
+	if !a.any {
+		return types.NullValue()
+	}
+	return a.v
+}
+
+// distinctAcc implements COUNT(DISTINCT x) and SUM(DISTINCT x) by keying
+// values on their rendered form.
+type distinctAcc struct {
+	arg   expr.Expr
+	count bool // COUNT when true, SUM otherwise
+	seen  map[string]types.Value
+}
+
+func (a *distinctAcc) add(row types.Row) error {
+	v, err := a.arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if a.seen == nil {
+		a.seen = make(map[string]types.Value)
+	}
+	a.seen[v.AsString()] = v
+	return nil
+}
+
+func (a *distinctAcc) value() types.Value {
+	if a.count {
+		return types.IntV(int64(len(a.seen)))
+	}
+	if len(a.seen) == 0 {
+		return types.NullValue()
+	}
+	var sum float64
+	for _, v := range a.seen {
+		f, ok := v.AsFloat()
+		if ok {
+			sum += f
+		}
+	}
+	return types.FloatV(sum)
+}
+
+// group holds per-group state.
+type group struct {
+	firstRow types.Row
+	accs     []accumulator
+}
+
+func aggregate(p *plan.Plan, rows []types.Row) ([]keyedRow, error) {
+	// Collect the distinct aggregate calls used anywhere in the query.
+	var aggCalls []*expr.Call
+	seen := make(map[string]int)
+	collect := func(e expr.Expr) {
+		for _, c := range expr.Aggregates(e) {
+			if _, ok := seen[c.String()]; !ok {
+				seen[c.String()] = len(aggCalls)
+				aggCalls = append(aggCalls, c)
+			}
+		}
+	}
+	for _, it := range p.Items {
+		collect(it.Expr)
+	}
+	if p.Having != nil {
+		collect(p.Having)
+	}
+	for _, o := range p.OrderBy {
+		collect(o.Expr)
+	}
+
+	groups := make(map[string]*group)
+	var order []string // insertion order for determinism
+	for _, r := range rows {
+		key, err := groupKey(p.GroupBy, r)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{firstRow: r}
+			g.accs = make([]accumulator, len(aggCalls))
+			for i, c := range aggCalls {
+				acc, err := newAccumulator(c)
+				if err != nil {
+					return nil, err
+				}
+				g.accs[i] = acc
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for _, acc := range g.accs {
+			if err := acc.add(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Global aggregates over an empty input still produce one row
+	// (COUNT(*) = 0 etc.), but only when there is no GROUP BY.
+	if len(rows) == 0 && len(p.GroupBy) == 0 {
+		g := &group{firstRow: make(types.Row, p.Read.Len())}
+		g.accs = make([]accumulator, len(aggCalls))
+		for i, c := range aggCalls {
+			acc, err := newAccumulator(c)
+			if err != nil {
+				return nil, err
+			}
+			g.accs[i] = acc
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	orderItems := p.OrderBy
+	out := make([]keyedRow, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		// substitute computed aggregate values into the expressions, then
+		// evaluate against the group's first row (non-aggregate parts of an
+		// item therefore get first-row semantics, as Table I queries expect).
+		subst := func(e expr.Expr) expr.Expr {
+			return expr.Transform(e, func(n expr.Expr) (expr.Expr, bool) {
+				if c, ok := n.(*expr.Call); ok && expr.IsAggregate(c.Name) {
+					if i, ok := seen[c.String()]; ok {
+						return &expr.Literal{Val: g.accs[i].value()}, true
+					}
+				}
+				return nil, false
+			})
+		}
+		if p.Having != nil {
+			ok, err := expr.EvalPredicate(subst(p.Having), g.firstRow)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		outRow := make(types.Row, len(p.Items))
+		for i, it := range p.Items {
+			v, err := subst(it.Expr).Eval(g.firstRow)
+			if err != nil {
+				return nil, err
+			}
+			outRow[i] = v
+		}
+		var keys []types.Value
+		if len(orderItems) > 0 {
+			keys = make([]types.Value, len(orderItems))
+			for i, o := range orderItems {
+				v, err := subst(o.Expr).Eval(g.firstRow)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = v
+			}
+		}
+		out = append(out, keyedRow{row: outRow, keys: keys})
+	}
+	return out, nil
+}
+
+// groupKey renders the GROUP BY values into a collision-safe string key.
+func groupKey(groupBy []expr.Expr, r types.Row) (string, error) {
+	if len(groupBy) == 0 {
+		return "", nil
+	}
+	var b strings.Builder
+	for _, g := range groupBy {
+		v, err := g.Eval(r)
+		if err != nil {
+			return "", err
+		}
+		if v.IsNull() {
+			b.WriteByte(0x01) // distinguish NULL from empty string
+		} else {
+			b.WriteByte(0x02)
+			b.WriteString(v.AsString())
+		}
+		b.WriteByte(0x00)
+	}
+	return b.String(), nil
+}
+
+func distinct(rows []keyedRow) []keyedRow {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, kr := range rows {
+		var b strings.Builder
+		for _, v := range kr.row {
+			if v.IsNull() {
+				b.WriteByte(0x01)
+			} else {
+				b.WriteByte(0x02)
+				b.WriteString(v.AsString())
+			}
+			b.WriteByte(0x00)
+		}
+		key := b.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, kr)
+		}
+	}
+	return out
+}
+
+func sortRows(rows []keyedRow, orderBy []parser.OrderItem) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := range orderBy {
+			c := rows[i].keys[k].Compare(rows[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if orderBy[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}

@@ -1,0 +1,107 @@
+package expr
+
+import (
+	"testing"
+
+	"scoop/internal/sql/types"
+)
+
+func TestTransformDeepCopy(t *testing.T) {
+	orig := &Binary{Op: OpAnd,
+		Left:  &Not{X: &In{X: col("vid"), List: []Expr{lit(types.Str("a"))}, Negate: true}},
+		Right: &IsNull{X: &Call{Name: "UPPER", Args: []Expr{col("city")}}, Negate: true},
+	}
+	cp := Transform(orig, func(Expr) (Expr, bool) { return nil, false })
+	if cp.String() != orig.String() {
+		t.Fatalf("copy differs: %s vs %s", cp.String(), orig.String())
+	}
+	// Mutating the copy's column binding must not touch the original.
+	_ = Walk(cp, func(n Expr) error {
+		if c, ok := n.(*Column); ok {
+			c.Index = 99
+		}
+		return nil
+	})
+	_ = Walk(orig, func(n Expr) error {
+		if c, ok := n.(*Column); ok && c.Index == 99 {
+			t.Fatal("Transform shared column nodes")
+		}
+		return nil
+	})
+}
+
+func TestTransformReplacement(t *testing.T) {
+	e := &Binary{Op: OpAdd, Left: col("a"), Right: &Neg{X: col("a")}}
+	replaced := Transform(e, func(n Expr) (Expr, bool) {
+		if c, ok := n.(*Column); ok && c.Name == "a" {
+			return lit(types.IntV(7)), true
+		}
+		return nil, false
+	})
+	v, err := replaced.Eval(nil)
+	if err != nil || v.I != 0 {
+		t.Fatalf("7 + (-7) = %v, %v", v, err)
+	}
+	// Replacement is top-down: replacing the whole tree skips children.
+	whole := Transform(e, func(n Expr) (Expr, bool) {
+		if _, ok := n.(*Binary); ok {
+			return lit(types.Str("gone")), true
+		}
+		return nil, false
+	})
+	if whole.String() != "'gone'" {
+		t.Errorf("whole = %s", whole.String())
+	}
+	if Transform(nil, func(Expr) (Expr, bool) { return nil, false }) != nil {
+		t.Error("Transform(nil) should be nil")
+	}
+	// Star and literal nodes pass through.
+	if _, ok := Transform(Star{}, func(Expr) (Expr, bool) { return nil, false }).(Star); !ok {
+		t.Error("Star not preserved")
+	}
+}
+
+func TestAggregatesDedup(t *testing.T) {
+	e := &Binary{Op: OpAdd,
+		Left:  &Call{Name: "SUM", Args: []Expr{col("index")}},
+		Right: &Binary{Op: OpMul, Left: &Call{Name: "SUM", Args: []Expr{col("index")}}, Right: &Call{Name: "COUNT", Args: []Expr{Star{}}}},
+	}
+	aggs := Aggregates(e)
+	if len(aggs) != 2 {
+		t.Fatalf("aggs = %v", aggs)
+	}
+	if aggs[0].Name != "SUM" || aggs[1].Name != "COUNT" {
+		t.Errorf("order = %v, %v", aggs[0].Name, aggs[1].Name)
+	}
+	// DISTINCT variants are distinct keys.
+	e2 := &Binary{Op: OpAdd,
+		Left:  &Call{Name: "SUM", Args: []Expr{col("index")}},
+		Right: &Call{Name: "SUM", Args: []Expr{col("index")}, Distinct: true},
+	}
+	if got := Aggregates(e2); len(got) != 2 {
+		t.Errorf("distinct variants merged: %v", got)
+	}
+	if got := Aggregates(col("x")); len(got) != 0 {
+		t.Errorf("no aggs expected: %v", got)
+	}
+}
+
+func TestIsComparison(t *testing.T) {
+	for _, op := range []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike} {
+		if !op.IsComparison() {
+			t.Errorf("%v should be comparison", op)
+		}
+	}
+	for _, op := range []BinOp{OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr} {
+		if op.IsComparison() {
+			t.Errorf("%v should not be comparison", op)
+		}
+	}
+}
+
+func TestCallStringDistinct(t *testing.T) {
+	c := &Call{Name: "count", Args: []Expr{col("city")}, Distinct: true}
+	if c.String() != "COUNT(DISTINCT city)" {
+		t.Errorf("String = %q", c.String())
+	}
+}

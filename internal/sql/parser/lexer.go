@@ -1,0 +1,159 @@
+// Package parser turns SQL text into the AST consumed by the planner.
+//
+// The dialect covers what the GridPocket workloads (paper Table I) and the
+// synthetic evaluation queries need: single-table SELECT with expressions,
+// WHERE, GROUP BY, ORDER BY, LIMIT, aggregate functions and aliases.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int    // byte offset in the input, for error messages
+}
+
+// keywords recognized by the lexer. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "HAVING": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "LIKE": true, "IN": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "ASC": true, "DESC": true,
+	"BETWEEN": true, "DISTINCT": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), pos)
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			switch {
+			case isDigit(ch):
+				l.pos++
+			case ch == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.pos++
+			case (ch == 'e' || ch == 'E') && !seenExp && l.pos > start:
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+			default:
+				goto doneNum
+			}
+		}
+	doneNum:
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		var b strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(start, "unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'') // '' escape
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+	case c == '`' || c == '"':
+		// Quoted identifier.
+		quote := c
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], quote)
+		if end < 0 {
+			return token{}, l.errf(start, "unterminated quoted identifier")
+		}
+		text := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	default:
+		// Multi-byte operators first.
+		for _, op := range []string{"<>", "!=", "<=", ">="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return token{kind: tokSymbol, text: op, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("()+-*/,=<>", rune(c)) {
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+func isSpace(c byte) bool      { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,521 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scoop/internal/sql/expr"
+	"scoop/internal/sql/types"
+)
+
+// SelectItem is one entry of the SELECT list.
+type SelectItem struct {
+	Expr  expr.Expr
+	Alias string // empty when no AS alias was given
+	Star  bool   // SELECT *
+}
+
+// Name returns the output column name: the alias if present, otherwise the
+// expression text.
+func (s SelectItem) Name() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.Star {
+		return "*"
+	}
+	if c, ok := s.Expr.(*expr.Column); ok {
+		return c.Name
+	}
+	return s.Expr.String()
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Select is the parsed form of a SELECT statement.
+type Select struct {
+	Items    []SelectItem
+	Distinct bool
+	Table    string
+	Where    expr.Expr // nil when absent
+	GroupBy  []expr.Expr
+	Having   expr.Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+}
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*Select, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sql: expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.advance()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("sql: expected table name, found %q", t.text)
+	}
+	sel.Table = t.text
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.advance()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected LIMIT count, found %q", t.text)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.advance()
+		if t.kind != tokIdent && t.kind != tokKeyword {
+			return SelectItem{}, fmt.Errorf("sql: expected alias, found %q", t.text)
+		}
+		item.Alias = t.text
+	} else if t := p.peek(); t.kind == tokIdent {
+		// Bare alias: SELECT vid v FROM ...
+		item.Alias = t.text
+		p.advance()
+	}
+	return item, nil
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | cmpExpr
+//	cmpExpr  := addExpr ((=|<>|!=|<|<=|>|>=|LIKE) addExpr
+//	           | [NOT] IN (list) | IS [NOT] NULL | [NOT] BETWEEN a AND b)?
+//	addExpr  := mulExpr ((+|-) mulExpr)*
+//	mulExpr  := unary ((*|/) unary)*
+//	unary    := - unary | primary
+//	primary  := literal | ident | ident(args) | ( orExpr )
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: expr.OpOr, Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: expr.OpAnd, Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]expr.BinOp{
+	"=": expr.OpEq, "<>": expr.OpNe, "!=": expr.OpNe,
+	"<": expr.OpLt, "<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) parseCmp() (expr.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokSymbol {
+		if op, ok := cmpOps[t.text]; ok {
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Binary{Op: op, Left: l, Right: r}, nil
+		}
+	}
+	negate := false
+	if t := p.peek(); t.kind == tokKeyword && t.text == "NOT" {
+		// lookahead for NOT IN / NOT LIKE / NOT BETWEEN
+		if p.i+1 < len(p.toks) {
+			nxt := p.toks[p.i+1]
+			if nxt.kind == tokKeyword && (nxt.text == "IN" || nxt.text == "LIKE" || nxt.text == "BETWEEN") {
+				p.advance()
+				negate = true
+			}
+		}
+	}
+	switch {
+	case p.acceptKeyword("LIKE"):
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		var e expr.Expr = &expr.Binary{Op: expr.OpLike, Left: l, Right: r}
+		if negate {
+			e = &expr.Not{X: e}
+		}
+		return e, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []expr.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &expr.In{X: l, List: list, Negate: negate}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		var e expr.Expr = &expr.Binary{
+			Op:    expr.OpAnd,
+			Left:  &expr.Binary{Op: expr.OpGe, Left: l, Right: lo},
+			Right: &expr.Binary{Op: expr.OpLe, Left: l, Right: hi},
+		}
+		if negate {
+			e = &expr.Not{X: e}
+		}
+		return e, nil
+	case p.acceptKeyword("IS"):
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{X: l, Negate: neg}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.BinOp
+		switch {
+		case p.acceptSymbol("+"):
+			op = expr.OpAdd
+		case p.acceptSymbol("-"):
+			op = expr.OpSub
+		default:
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: op, Left: l, Right: r}
+	}
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.BinOp
+		switch {
+		case p.acceptSymbol("*"):
+			op = expr.OpMul
+		case p.acceptSymbol("/"):
+			op = expr.OpDiv
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: op, Left: l, Right: r}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately so the planner sees plain literals.
+		if l, ok := x.(*expr.Literal); ok {
+			switch l.Val.T {
+			case types.Int:
+				return &expr.Literal{Val: types.IntV(-l.Val.I)}, nil
+			case types.Float:
+				return &expr.Literal{Val: types.FloatV(-l.Val.F)}, nil
+			}
+		}
+		return &expr.Neg{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &expr.Literal{Val: types.FloatV(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return &expr.Literal{Val: types.IntV(i)}, nil
+	case tokString:
+		return &expr.Literal{Val: types.Str(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			return &expr.Literal{Val: types.NullValue()}, nil
+		case "TRUE":
+			return &expr.Literal{Val: types.BoolV(true)}, nil
+		case "FALSE":
+			return &expr.Literal{Val: types.BoolV(false)}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %q in expression", t.text)
+	case tokIdent:
+		if p.acceptSymbol("(") {
+			return p.parseCallArgs(t.text)
+		}
+		return &expr.Column{Name: t.text, Index: -1}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseCallArgs(name string) (expr.Expr, error) {
+	call := &expr.Call{Name: strings.ToUpper(name)}
+	if p.acceptSymbol(")") {
+		return call, nil
+	}
+	// COUNT(*) special case.
+	if call.Name == "COUNT" && p.acceptSymbol("*") {
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		call.Args = []expr.Expr{expr.Star{}}
+		return call, nil
+	}
+	// COUNT(DISTINCT x) / SUM(DISTINCT x).
+	if p.acceptKeyword("DISTINCT") {
+		if !expr.IsAggregate(call.Name) {
+			return nil, fmt.Errorf("sql: DISTINCT inside non-aggregate %s", call.Name)
+		}
+		call.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, e)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

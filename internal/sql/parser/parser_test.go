@@ -1,0 +1,272 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"scoop/internal/sql/expr"
+	"scoop/internal/sql/types"
+)
+
+func mustParse(t *testing.T, src string) *Select {
+	t.Helper()
+	sel, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestParseMinimal(t *testing.T) {
+	sel := mustParse(t, "SELECT vid FROM meters")
+	if len(sel.Items) != 1 || sel.Items[0].Name() != "vid" || sel.Table != "meters" {
+		t.Errorf("sel = %+v", sel)
+	}
+	if sel.Where != nil || sel.GroupBy != nil || sel.OrderBy != nil || sel.Limit != -1 {
+		t.Errorf("unexpected clauses: %+v", sel)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t")
+	if !sel.Items[0].Star || sel.Items[0].Name() != "*" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	sel := mustParse(t, "SELECT DISTINCT city FROM t")
+	if !sel.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := mustParse(t, "SELECT sum(index) AS max, vid v FROM t")
+	if sel.Items[0].Name() != "max" {
+		t.Errorf("alias = %q", sel.Items[0].Name())
+	}
+	if sel.Items[1].Name() != "v" {
+		t.Errorf("bare alias = %q", sel.Items[1].Name())
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	sel := mustParse(t, "SELECT vid FROM t WHERE city LIKE 'Rotterdam' AND date LIKE '2015-01-%'")
+	b, ok := sel.Where.(*expr.Binary)
+	if !ok || b.Op != expr.OpAnd {
+		t.Fatalf("Where = %v", sel.Where)
+	}
+	l := b.Left.(*expr.Binary)
+	if l.Op != expr.OpLike || l.Left.(*expr.Column).Name != "city" {
+		t.Errorf("left = %v", b.Left)
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	sel := mustParse(t, `SELECT SUBSTRING(date, 0, 10) as sDate, sum(index) as max, vid
+		FROM largeMeter WHERE city LIKE 'Rotterdam' AND date LIKE '2015-01-%'
+		GROUP BY SUBSTRING(date, 0, 10), vid
+		ORDER BY SUBSTRING(date, 0, 10), vid DESC LIMIT 100`)
+	if len(sel.GroupBy) != 2 {
+		t.Fatalf("GroupBy = %v", sel.GroupBy)
+	}
+	if len(sel.OrderBy) != 2 || sel.OrderBy[0].Desc || !sel.OrderBy[1].Desc {
+		t.Fatalf("OrderBy = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 100 {
+		t.Errorf("Limit = %d", sel.Limit)
+	}
+	if sel.Items[0].Name() != "sDate" {
+		t.Errorf("item0 name = %q", sel.Items[0].Name())
+	}
+	call, ok := sel.Items[1].Expr.(*expr.Call)
+	if !ok || call.Name != "SUM" {
+		t.Errorf("item1 = %v", sel.Items[1].Expr)
+	}
+}
+
+// All seven Table I GridPocket queries must parse.
+func TestParseGridPocketQueries(t *testing.T) {
+	queries := []string{
+		`SELECT vid, sum(index) as max, first_value(lat) as lat, first_value(long) as long, first_value(state) as state FROM largeMeter WHERE date LIKE '2015-01%' GROUP BY SUBSTRING(date, 0, 7), vid ORDER BY SUBSTRING(date, 0, 7), vid`,
+		`SELECT vid, sum(index) as max, first_value(city) as city, first_value(lat) as lat, first_value(long) as long, first_value(state) as state FROM largeMeter WHERE date LIKE '2015-01%' GROUP BY SUBSTRING(date, 0, 7), vid ORDER BY SUBSTRING(date, 0, 7), vid`,
+		`SELECT SUBSTRING(date, 0, 10) as sDate, sum(index) as max, first_value(lat) as lat, first_value(long) as long FROM largeMeter WHERE date LIKE '2015-01%' GROUP BY SUBSTRING(date, 0, 10), vid ORDER BY SUBSTRING(date, 0, 10), vid`,
+		`SELECT SUBSTRING(date, 0, 10) as sDate, sum(index) as max, vid FROM largeMeter WHERE city LIKE 'Rotterdam' AND date LIKE '2015-01-%' GROUP BY SUBSTRING(date, 0, 10), vid ORDER BY SUBSTRING(date, 0, 10), vid`,
+		`SELECT SUBSTRING(date, 0, 10) as sDate, state as vid, sum(index) as max FROM largeMeter WHERE state LIKE 'U%' AND date LIKE '2015-01-%' GROUP BY SUBSTRING(date, 0, 10), state ORDER BY SUBSTRING(date, 0, 10), state`,
+		`SELECT SUBSTRING(date, 0, 10) as sDate, vid, min(sumHC) as minHC, max(sumHC) as maxHC, min(sumHP) as minHP, max(sumHP) as maxHP FROM largeMeter WHERE state LIKE 'FRA' AND date LIKE '2015-01-%' GROUP BY SUBSTRING(date, 0, 10), vid ORDER BY SUBSTRING(date, 0, 10), vid`,
+		`SELECT SUBSTRING(date, 0, 13) as sDate, sum(index) as max, vid FROM largeMeter WHERE city LIKE 'Rotterdam' AND date LIKE '2015-01-%' GROUP BY SUBSTRING(date, 0, 13), vid ORDER BY SUBSTRING(date, 0, 13), vid`,
+	}
+	for i, q := range queries {
+		sel, err := Parse(q)
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+			continue
+		}
+		if sel.Table != "largeMeter" || sel.Where == nil || len(sel.GroupBy) == 0 {
+			t.Errorf("query %d: unexpected shape %+v", i, sel)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	sel := mustParse(t, "SELECT 1, 2.5, 1e3, 'it''s', NULL, TRUE, FALSE, -7 FROM t")
+	wants := []types.Value{
+		types.IntV(1), types.FloatV(2.5), types.FloatV(1000), types.Str("it's"),
+		types.NullValue(), types.BoolV(true), types.BoolV(false), types.IntV(-7),
+	}
+	for i, w := range wants {
+		l, ok := sel.Items[i].Expr.(*expr.Literal)
+		if !ok {
+			t.Errorf("item %d not literal: %v", i, sel.Items[i].Expr)
+			continue
+		}
+		if w.IsNull() != l.Val.IsNull() || (!w.IsNull() && !l.Val.Equal(w)) {
+			t.Errorf("item %d = %v, want %v", i, l.Val, w)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a + b * c FROM t")
+	top := sel.Items[0].Expr.(*expr.Binary)
+	if top.Op != expr.OpAdd {
+		t.Fatalf("top = %v", top.Op)
+	}
+	if r := top.Right.(*expr.Binary); r.Op != expr.OpMul {
+		t.Errorf("right = %v", r.Op)
+	}
+	// Parens override.
+	sel = mustParse(t, "SELECT (a + b) * c FROM t")
+	top = sel.Items[0].Expr.(*expr.Binary)
+	if top.Op != expr.OpMul {
+		t.Errorf("paren top = %v", top.Op)
+	}
+	// OR binds weaker than AND.
+	sel = mustParse(t, "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+	w := sel.Where.(*expr.Binary)
+	if w.Op != expr.OpOr {
+		t.Errorf("where top = %v", w.Op)
+	}
+}
+
+func TestParseInBetweenIsNull(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE state IN ('FRA', 'NED') AND x NOT IN (1) AND a BETWEEN 1 AND 5 AND b NOT BETWEEN 0 AND 1 AND c IS NULL AND d IS NOT NULL AND e NOT LIKE 'x%'")
+	s := sel.Where.String()
+	for _, frag := range []string{"IN ('FRA', 'NED')", "NOT IN (1)", "IS NULL", "IS NOT NULL", "NOT ", ">= 1", "<= 5"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Where = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	sel := mustParse(t, "SELECT count(*) FROM t")
+	call := sel.Items[0].Expr.(*expr.Call)
+	if call.Name != "COUNT" || len(call.Args) != 1 {
+		t.Fatalf("call = %+v", call)
+	}
+	if _, ok := call.Args[0].(expr.Star); !ok {
+		t.Errorf("arg = %T", call.Args[0])
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	sel := mustParse(t, "SELECT count(DISTINCT city), sum(DISTINCT index) FROM t")
+	c := sel.Items[0].Expr.(*expr.Call)
+	if c.Name != "COUNT" || !c.Distinct {
+		t.Errorf("call = %+v", c)
+	}
+	s := sel.Items[1].Expr.(*expr.Call)
+	if s.Name != "SUM" || !s.Distinct {
+		t.Errorf("call = %+v", s)
+	}
+	if !strings.Contains(c.String(), "DISTINCT") {
+		t.Errorf("String = %q", c.String())
+	}
+	// DISTINCT inside a scalar function is rejected.
+	if _, err := Parse("SELECT upper(DISTINCT city) FROM t"); err == nil {
+		t.Error("DISTINCT in scalar accepted")
+	}
+	if _, err := Parse("SELECT count(DISTINCT *) FROM t"); err == nil {
+		t.Error("COUNT(DISTINCT *) accepted")
+	}
+}
+
+func TestParseQuotedIdent(t *testing.T) {
+	sel := mustParse(t, "SELECT `index`, \"date\" FROM t")
+	if sel.Items[0].Expr.(*expr.Column).Name != "index" {
+		t.Errorf("backquoted ident = %v", sel.Items[0].Expr)
+	}
+	if sel.Items[1].Expr.(*expr.Column).Name != "date" {
+		t.Errorf("doublequoted ident = %v", sel.Items[1].Expr)
+	}
+}
+
+func TestParseNotVariants(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE NOT x = 1")
+	if _, ok := sel.Where.(*expr.Not); !ok {
+		t.Errorf("NOT parse = %T", sel.Where)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t GROUP BY",
+		"SELECT a FROM t ORDER BY",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t trailing",
+		"SELECT 'unterminated FROM t",
+		"SELECT `unterminated FROM t",
+		"SELECT a FROM t WHERE a IN 1",
+		"SELECT a FROM t WHERE a IN (1",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a IS 1",
+		"SELECT f(a FROM t",
+		"SELECT (a FROM t",
+		"SELECT a FROM t WHERE a @ 1",
+		"SELECT count(* FROM t",
+		"INSERT INTO t VALUES (1)",
+		"SELECT a AS FROM t WHERE 1",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	sel := mustParse(t, "SELECT 1.5e-3, .5, 10E2 FROM t")
+	v0 := sel.Items[0].Expr.(*expr.Literal).Val
+	if v0.F != 1.5e-3 {
+		t.Errorf("1.5e-3 = %v", v0)
+	}
+	v1 := sel.Items[1].Expr.(*expr.Literal).Val
+	if v1.F != 0.5 {
+		t.Errorf(".5 = %v", v1)
+	}
+	v2 := sel.Items[2].Expr.(*expr.Literal).Val
+	if v2.F != 1000 {
+		t.Errorf("10E2 = %v", v2)
+	}
+}
+
+func TestHavingClause(t *testing.T) {
+	sel := mustParse(t, "SELECT city, count(*) FROM t GROUP BY city HAVING count(*) > 5")
+	if sel.Having == nil {
+		t.Fatal("HAVING not parsed")
+	}
+	b := sel.Having.(*expr.Binary)
+	if b.Op != expr.OpGt {
+		t.Errorf("having = %v", sel.Having)
+	}
+}

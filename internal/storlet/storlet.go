@@ -1,0 +1,314 @@
+// Package storlet is the active storage layer of Scoop: a framework for
+// deploying and executing *pushdown filters* inside the object store,
+// modelled on OpenStack Storlets (paper §V). A filter is a piece of logic
+// invoked on the data stream of a single object request; the store itself is
+// oblivious to what the filter computes.
+//
+// Where the original Storlets run Java code inside Docker containers, this
+// implementation sandboxes Go filters behind goroutine isolation: panics are
+// converted to request errors, invocations are bounded by a deadline and an
+// output cap, and per-filter resource usage (bytes in/out, CPU-ish wall
+// time) is accounted — the properties the paper's evaluation measures.
+package storlet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"scoop/internal/pushdown"
+)
+
+// Context carries per-invocation information to a filter.
+type Context struct {
+	// Task is the pushdown task extracted from the request metadata.
+	Task *pushdown.Task
+	// RangeStart and RangeEnd are the absolute byte range of the request
+	// within the object ([0, ObjectSize) for a full-object request). Filters
+	// over record-structured data use these for split alignment.
+	RangeStart, RangeEnd int64
+	// ObjectSize is the total size of the stored object.
+	ObjectSize int64
+	// Log records diagnostic lines (the StorletLogger analog).
+	Log func(format string, args ...any)
+}
+
+// Logf logs through ctx.Log when set.
+func (c *Context) Logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// Filter is the storlet interface (the paper's IStorlet.invoke): transform
+// the inbound object stream into the outbound response stream.
+type Filter interface {
+	// Name is the identifier pushdown tasks reference.
+	Name() string
+	// Invoke streams in through the filter into out. It must not retain
+	// either stream after returning.
+	Invoke(ctx *Context, in io.Reader, out io.Writer) error
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc struct {
+	FilterName string
+	Fn         func(ctx *Context, in io.Reader, out io.Writer) error
+}
+
+// Name implements Filter.
+func (f FilterFunc) Name() string { return f.FilterName }
+
+// Invoke implements Filter.
+func (f FilterFunc) Invoke(ctx *Context, in io.Reader, out io.Writer) error {
+	return f.Fn(ctx, in, out)
+}
+
+// Stats aggregates resource accounting for one filter.
+type Stats struct {
+	Invocations int64
+	Errors      int64
+	BytesIn     int64
+	BytesOut    int64
+	WallTime    time.Duration
+}
+
+// Limits bound a single filter invocation.
+type Limits struct {
+	// Timeout aborts an invocation that runs longer (0 = no limit).
+	Timeout time.Duration
+	// MaxOutputBytes aborts an invocation producing more output (0 = none).
+	MaxOutputBytes int64
+	// MaxConcurrent bounds simultaneously executing filtered REQUESTS
+	// (0 = unlimited) — the CPU/parallelism constraint at the object store
+	// the paper's §VII discusses; excess requests queue. A pipelined chain
+	// counts as one request.
+	MaxConcurrent int
+}
+
+// Engine is the filter registry and sandboxed execution environment — the
+// piece that makes the object store "rich and extensible" (paper §I): new
+// filters can be deployed at runtime without touching the store.
+type Engine struct {
+	mu        sync.RWMutex
+	filters   map[string]Filter
+	stats     map[string]*Stats
+	factories map[string]Factory
+	limits    Limits
+	// slots is the concurrency semaphore when MaxConcurrent > 0.
+	slots chan struct{}
+}
+
+// NewEngine returns an engine with the given limits.
+func NewEngine(limits Limits) *Engine {
+	e := &Engine{
+		filters: make(map[string]Filter),
+		stats:   make(map[string]*Stats),
+		limits:  limits,
+	}
+	if limits.MaxConcurrent > 0 {
+		e.slots = make(chan struct{}, limits.MaxConcurrent)
+	}
+	return e
+}
+
+// ErrAlreadyDeployed is returned when registering a filter whose name is
+// taken; redeployment flows treat it as success.
+var ErrAlreadyDeployed = errors.New("storlet: filter already deployed")
+
+// Register deploys a filter, making it invocable by name. Deploying is the
+// "on-the-fly" extension path: it can happen while the store serves traffic.
+func (e *Engine) Register(f Filter) error {
+	if f == nil || f.Name() == "" {
+		return errors.New("storlet: filter needs a name")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.filters[f.Name()]; dup {
+		return fmt.Errorf("%w: %q", ErrAlreadyDeployed, f.Name())
+	}
+	e.filters[f.Name()] = f
+	e.stats[f.Name()] = &Stats{}
+	return nil
+}
+
+// Unregister removes a deployed filter.
+func (e *Engine) Unregister(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.filters[name]; !ok {
+		return fmt.Errorf("storlet: filter %q not deployed", name)
+	}
+	delete(e.filters, name)
+	return nil
+}
+
+// Get looks up a deployed filter.
+func (e *Engine) Get(name string) (Filter, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	f, ok := e.filters[name]
+	return f, ok
+}
+
+// Names returns the deployed filter names, sorted.
+func (e *Engine) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.filters))
+	for n := range e.filters {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StatsFor returns a copy of the accounting for one filter.
+func (e *Engine) StatsFor(name string) Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if s, ok := e.stats[name]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// Run executes the task's filter over in, returning the filtered stream.
+// The filter runs in its own goroutine (the sandbox); a panic, timeout or
+// output overrun surfaces as an error from the returned reader. The caller
+// must drain and close the returned reader.
+func (e *Engine) Run(ctx *Context, in io.Reader) (io.ReadCloser, error) {
+	return e.run(ctx, in, true)
+}
+
+// run optionally skips slot acquisition: a pipelined chain counts as ONE
+// request against MaxConcurrent (its stages must run concurrently or the
+// pipe between them deadlocks).
+func (e *Engine) run(ctx *Context, in io.Reader, acquireSlot bool) (io.ReadCloser, error) {
+	if ctx == nil || ctx.Task == nil {
+		return nil, errors.New("storlet: nil context or task")
+	}
+	f, ok := e.Get(ctx.Task.Filter)
+	if !ok {
+		return nil, fmt.Errorf("storlet: filter %q not deployed", ctx.Task.Filter)
+	}
+	pr, pw := io.Pipe()
+	cin := &countingReader{r: in}
+	cout := &countingWriter{w: pw, max: e.limits.MaxOutputBytes}
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if acquireSlot && e.slots != nil {
+			// Queue for a CPU slot; the requester blocks on the pipe until
+			// the filter actually starts producing.
+			e.slots <- struct{}{}
+			defer func() { <-e.slots }()
+		}
+		err := invokeSafely(f, ctx, cin, cout)
+		e.account(ctx.Task.Filter, cin.n, cout.n, time.Since(start), err)
+		pw.CloseWithError(err)
+	}()
+	if e.limits.Timeout > 0 {
+		// Closing only the write side delivers the timeout error to the
+		// reader (CloseWithError on the read side would mask it with
+		// ErrClosedPipe) and makes the runaway filter's next write fail.
+		timer := time.AfterFunc(e.limits.Timeout, func() {
+			pw.CloseWithError(fmt.Errorf("storlet: filter %q timed out after %v", ctx.Task.Filter, e.limits.Timeout))
+		})
+		go func() {
+			<-done
+			timer.Stop()
+		}()
+	}
+	return pr, nil
+}
+
+// RunChain pipes in through each task's filter in order (pipelining). Every
+// stage gets its own sandbox goroutine; ranges apply to the first stage only
+// (later stages see the previous stage's output, not raw object bytes).
+func (e *Engine) RunChain(base *Context, tasks []*pushdown.Task, in io.Reader) (io.ReadCloser, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("storlet: empty task chain")
+	}
+	var cur io.ReadCloser = io.NopCloser(in)
+	for i, task := range tasks {
+		ctx := &Context{
+			Task:       task,
+			ObjectSize: base.ObjectSize,
+			Log:        base.Log,
+		}
+		if i == 0 {
+			ctx.RangeStart, ctx.RangeEnd = base.RangeStart, base.RangeEnd
+		} else {
+			// Later stages consume an unbounded derived stream.
+			ctx.RangeStart, ctx.RangeEnd = 0, int64(1)<<62
+		}
+		next, err := e.run(ctx, cur, i == 0)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (e *Engine) account(name string, in, out int64, wall time.Duration, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.stats[name]
+	if !ok {
+		s = &Stats{}
+		e.stats[name] = s
+	}
+	s.Invocations++
+	s.BytesIn += in
+	s.BytesOut += out
+	s.WallTime += wall
+	if err != nil {
+		s.Errors++
+	}
+}
+
+// invokeSafely converts filter panics into errors (the sandbox boundary).
+func invokeSafely(f Filter, ctx *Context, in io.Reader, out io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("storlet: filter %q panicked: %v", f.Name(), r)
+		}
+	}()
+	return f.Invoke(ctx, in, out)
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// errOutputLimit is returned when a filter exceeds its output budget.
+var errOutputLimit = errors.New("storlet: output limit exceeded")
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	max int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.max > 0 && c.n+int64(len(p)) > c.max {
+		return 0, errOutputLimit
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
