@@ -10,6 +10,7 @@
 package scoop
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"io"
@@ -277,7 +278,7 @@ func BenchmarkStagingObjectVsProxy(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rc, _, err := client.GetObject(account, "meters", "part-0000.csv",
+				rc, _, err := client.GetObject(context.Background(), account, "meters", "part-0000.csv",
 					objectstore.GetOptions{Pushdown: []*pushdown.Task{task}})
 				if err != nil {
 					b.Fatal(err)
@@ -337,7 +338,7 @@ func benchTransfer(b *testing.B, compress bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	splits, err := rel.Splits()
+	splits, err := rel.Splits(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func benchTransfer(b *testing.B, compress bool) {
 	for i := 0; i < b.N; i++ {
 		e.Scoop.Connector().ResetStats()
 		for _, s := range splits {
-			it, err := rel.ScanPruned(s, []string{"vid", "index"})
+			it, err := rel.ScanPruned(context.Background(), s, []string{"vid", "index"})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,13 +43,16 @@ func run() error {
 		return fmt.Errorf("missing command (containers, create-container, delete-container, list, deploy, sync, stats)")
 	}
 	client := objectstore.NewHTTPClient(*store)
+	// One-shot CLI: commands run to completion or are killed with the
+	// process, so Background is the honest root context.
+	ctx := context.Background()
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "containers":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: containers <account>")
 		}
-		names, err := client.ListContainers(rest[0])
+		names, err := client.ListContainers(ctx, rest[0])
 		if err != nil {
 			return err
 		}
@@ -60,7 +64,7 @@ func run() error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: create-container <account> <container>")
 		}
-		err := client.CreateContainer(rest[0], rest[1], nil)
+		err := client.CreateContainer(ctx, rest[0], rest[1], nil)
 		if err == objectstore.ErrContainerExists {
 			fmt.Println("already exists")
 			return nil
@@ -70,7 +74,7 @@ func run() error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: delete-container <account> <container>")
 		}
-		return client.DeleteContainer(rest[0], rest[1])
+		return client.DeleteContainer(ctx, rest[0], rest[1])
 	case "list":
 		if len(rest) < 2 || len(rest) > 3 {
 			return fmt.Errorf("usage: list <account> <container> [prefix]")
@@ -79,7 +83,7 @@ func run() error {
 		if len(rest) == 3 {
 			prefix = rest[2]
 		}
-		objects, err := client.ListObjects(rest[0], rest[1], prefix)
+		objects, err := client.ListObjects(ctx, rest[0], rest[1], prefix)
 		if err != nil {
 			return err
 		}
@@ -91,7 +95,7 @@ func run() error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: deploy <account> <manifest.json>")
 		}
-		return deploy(client, rest[0], rest[1])
+		return deploy(ctx, client, rest[0], rest[1])
 	case "sync":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: sync <account>")
@@ -101,7 +105,10 @@ func run() error {
 			return err
 		}
 		defer resp.Body.Close()
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if err != nil {
+			return fmt.Errorf("sync: read response: %w", err)
+		}
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("sync: http %d: %s", resp.StatusCode, body)
 		}
@@ -116,7 +123,7 @@ func run() error {
 
 // deploy validates the manifest locally, stores it in the .storlets
 // container, and reminds the operator how the engine picks it up.
-func deploy(client *objectstore.HTTPClient, account, path string) error {
+func deploy(ctx context.Context, client *objectstore.HTTPClient, account, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -129,12 +136,12 @@ func deploy(client *objectstore.HTTPClient, account, path string) error {
 	if m.Name == "" {
 		return fmt.Errorf("manifest missing name")
 	}
-	err = client.CreateContainer(account, objectstore.StorletContainer, nil)
+	err = client.CreateContainer(ctx, account, objectstore.StorletContainer, nil)
 	if err != nil && err != objectstore.ErrContainerExists {
 		return err
 	}
 	name := filepath.Base(path)
-	info, err := client.PutObject(account, objectstore.StorletContainer, name, strings.NewReader(string(data)), nil)
+	info, err := client.PutObject(ctx, account, objectstore.StorletContainer, name, strings.NewReader(string(data)), nil)
 	if err != nil {
 		return err
 	}
@@ -150,7 +157,10 @@ func stats(store string) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+		if err != nil {
+			body = []byte(fmt.Sprintf("<error body unreadable: %v>", err))
+		}
 		return fmt.Errorf("stats endpoint: http %d: %s", resp.StatusCode, body)
 	}
 	var pretty map[string]any

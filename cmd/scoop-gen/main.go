@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -75,8 +76,9 @@ func run() error {
 }
 
 func upload(cfg meter.Config, store, account, container string, objects int) error {
+	ctx := context.Background() // one-shot CLI upload
 	client := objectstore.NewHTTPClient(store)
-	if err := client.CreateContainer(account, container, nil); err != nil &&
+	if err := client.CreateContainer(ctx, account, container, nil); err != nil &&
 		err != objectstore.ErrContainerExists {
 		return err
 	}
@@ -101,7 +103,7 @@ func upload(cfg meter.Config, store, account, container string, objects int) err
 			}
 		}
 		name := fmt.Sprintf("part-%04d.csv", i)
-		info, err := client.PutObject(account, container, name, strings.NewReader(data[start:end]), nil)
+		info, err := client.PutObject(ctx, account, container, name, strings.NewReader(data[start:end]), nil)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,102 @@
+// Command scoop-lint runs Scoop's project-specific static-analysis suite
+// (internal/lint) over the module and exits non-zero on findings. It is part
+// of the verification gate (scripts/verify.sh) every PR must pass.
+//
+// Usage:
+//
+//	scoop-lint [-list] [-only analyzer[,analyzer]] [path ...]
+//
+// Each path is a directory tree to analyze; "./..." and bare "." both mean
+// the whole module rooted at the current directory. Findings print as
+//
+//	file:line:col: [analyzer] message
+//
+// and can be suppressed with an inline justification:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scoop/internal/lint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scoop-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	total := 0
+	for _, root := range roots {
+		// Accept the conventional "dir/..." spelling: the loader always
+		// walks the whole subtree.
+		root = strings.TrimSuffix(strings.TrimSuffix(root, "..."), string(filepath.Separator))
+		if root == "" {
+			root = "."
+		}
+		pkgs, err := lint.Load(root)
+		if err != nil {
+			return err
+		}
+		for _, d := range lint.Run(pkgs, analyzers) {
+			fmt.Println(relativize(d))
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "scoop-lint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// relativize shortens absolute file paths to be relative to the working
+// directory so findings are easy to read and click through.
+func relativize(d lint.Diagnostic) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return d.String()
+	}
+	if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -94,7 +95,7 @@ func run() error {
 		gen.Meters = *demoMeters
 		gen.Days = 7
 		gen.Interval = time.Hour
-		size, err := s.UploadMeterDataset(*container, gen, 4)
+		size, err := s.UploadMeterDataset(context.Background(), *container, gen, 4)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"bufio"
 	"bytes"
 	"fmt"
@@ -49,13 +50,14 @@ func (grepFilter) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) erro
 }
 
 func main() {
+	ctx := context.Background()
 	// A running store: proxies + object nodes + storlet engine.
 	cluster, err := objectstore.NewCluster(objectstore.DefaultClusterConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
 	client := cluster.Client()
-	if err := client.CreateContainer("ops", "logs", nil); err != nil {
+	if err := client.CreateContainer(ctx, "ops", "logs", nil); err != nil {
 		log.Fatal(err)
 	}
 
@@ -68,7 +70,7 @@ func main() {
 		"2026-07-05T10:02:48 WARN  retrying gateway eu-west",
 		"2026-07-05T10:03:05 ERROR meter V000017 checksum mismatch",
 	}, "\n") + "\n"
-	if _, err := client.PutObject("ops", "logs", "app.log", strings.NewReader(logData), nil); err != nil {
+	if _, err := client.PutObject(ctx, "ops", "logs", "app.log", strings.NewReader(logData), nil); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stored app.log (%d bytes)\n", len(logData))
@@ -81,7 +83,7 @@ func main() {
 
 	// Invoke it via request metadata on a normal GET.
 	task := &pushdown.Task{Filter: "grep", Options: map[string]string{"pattern": "ERROR"}}
-	rc, _, err := client.GetObject("ops", "logs", "app.log", objectstore.GetOptions{
+	rc, _, err := client.GetObject(ctx, "ops", "logs", "app.log", objectstore.GetOptions{
 		Pushdown: []*pushdown.Task{task},
 	})
 	if err != nil {

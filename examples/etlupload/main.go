@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := objectstore.NewCluster(objectstore.DefaultClusterConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -35,7 +37,7 @@ func main() {
 		{Filter: etl.CleanseName, Options: map[string]string{"columns": "3", "required": "0,1"}},
 		{Filter: etl.SplitName, Options: map[string]string{"column": "1"}},
 	}}
-	if err := client.CreateContainer("gp", "raw-feed", policy); err != nil {
+	if err := client.CreateContainer(ctx, "gp", "raw-feed", policy); err != nil {
 		log.Fatal(err)
 	}
 
@@ -50,13 +52,13 @@ func main() {
 	fmt.Println("uploading raw feed:")
 	fmt.Print(raw)
 
-	info, err := client.PutObject("gp", "raw-feed", "2015-01-01.csv", strings.NewReader(raw), nil)
+	info, err := client.PutObject(ctx, "gp", "raw-feed", "2015-01-01.csv", strings.NewReader(raw), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nstored %d bytes (raw was %d)\n\n", info.Size, len(raw))
 
-	rc, _, err := client.GetObject("gp", "raw-feed", "2015-01-01.csv", objectstore.GetOptions{})
+	rc, _, err := client.GetObject(ctx, "gp", "raw-feed", "2015-01-01.csv", objectstore.GetOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

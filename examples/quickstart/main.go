@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -29,7 +30,7 @@ func main() {
 	gen.Meters = 200
 	gen.Days = 7
 	gen.Interval = 30 * time.Minute
-	size, err := s.UploadMeterDataset("meters", gen, 4)
+	size, err := s.UploadMeterDataset(context.Background(), "meters", gen, 4)
 	if err != nil {
 		log.Fatal(err)
 	}

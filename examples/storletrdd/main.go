@@ -35,7 +35,7 @@ func main() {
 	gen.Meters = 120
 	gen.Days = 5
 	gen.Interval = time.Hour
-	if _, err := s.UploadMeterDataset("meters", gen, 4); err != nil {
+	if _, err := s.UploadMeterDataset(context.Background(), "meters", gen, 4); err != nil {
 		log.Fatal(err)
 	}
 	conn := s.Connector()
@@ -84,7 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats, err := adaptive.CollectStats(rel, 2000)
+	stats, err := adaptive.CollectStats(context.Background(), rel, 2000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +121,10 @@ func main() {
 	fmt.Println("\nstorage cluster at 70% CPU:")
 	ctrl.SetLoadProbe(func() float64 { return 0.70 })
 	for _, tenant := range []string{"gridpocket", "trial-user"} {
-		est, _ := stats.EstimateFor(datasetAtScale, cases[0].cols, cases[0].preds)
+		est, err := stats.EstimateFor(datasetAtScale, cases[0].cols, cases[0].preds)
+		if err != nil {
+			log.Fatal(err)
+		}
 		d := ctrl.Decide(tenant, est)
 		fmt.Printf("%-11s %-32s pushdown=%-5v  (%s)\n", tenant, cases[0].name, d.Pushdown, d.Reason)
 	}

@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -119,7 +120,7 @@ func statsFixture(t *testing.T) *TableStats {
 		t.Fatal(err)
 	}
 	cl := oc.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	conn := connector.New(cl, "gp", 0)
 	var sb strings.Builder
 	// 100 rows: 20% FRA, 10% in 2015-02, vid uniform.
@@ -142,14 +143,14 @@ func statsFixture(t *testing.T) *TableStats {
 		}, ","))
 		sb.WriteByte('\n')
 	}
-	if _, err := conn.Upload("meters", "s.csv", strings.NewReader(sb.String())); err != nil {
+	if _, err := conn.Upload(context.Background(), "meters", "s.csv", strings.NewReader(sb.String())); err != nil {
 		t.Fatal(err)
 	}
 	rel, err := datasource.NewCSV(conn, "meters", "", meterSchema, datasource.CSVOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := CollectStats(rel, 1000)
+	st, err := CollectStats(context.Background(), rel, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -25,7 +26,7 @@ type TableStats struct {
 }
 
 // CollectStats samples up to maxRows rows from the relation's first splits.
-func CollectStats(rel datasource.Relation, maxRows int) (*TableStats, error) {
+func CollectStats(ctx context.Context, rel datasource.Relation, maxRows int) (*TableStats, error) {
 	if maxRows <= 0 {
 		maxRows = 1000
 	}
@@ -35,7 +36,7 @@ func CollectStats(rel datasource.Relation, maxRows int) (*TableStats, error) {
 		sample:   make([][]string, schema.Len()),
 		colBytes: make([]int64, schema.Len()),
 	}
-	splits, err := rel.Splits()
+	splits, err := rel.Splits(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +44,7 @@ func CollectStats(rel datasource.Relation, maxRows int) (*TableStats, error) {
 		if st.rows >= maxRows {
 			break
 		}
-		it, err := rel.Scan(split)
+		it, err := rel.Scan(ctx, split)
 		if err != nil {
 			return nil, err
 		}

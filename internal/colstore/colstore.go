@@ -19,6 +19,7 @@ package colstore
 
 import (
 	"bytes"
+	"context"
 	"compress/flate"
 	"encoding/binary"
 	"encoding/json"
@@ -271,17 +272,18 @@ func decodeValue(r *bytes.Reader, t types.Type) (types.Value, error) {
 // RangeFetcher reads byte ranges of a stored file — implemented by the
 // object-store connector so column chunks travel as ranged GETs.
 type RangeFetcher interface {
-	// Fetch returns bytes [off, off+size) of the file.
-	Fetch(off, size int64) ([]byte, error)
+	// Fetch returns bytes [off, off+size) of the file. The context bounds
+	// the underlying transfer (a ranged GET for remote files).
+	Fetch(ctx context.Context, off, size int64) ([]byte, error)
 }
 
 // ReadFooter fetches and parses the footer given the file size.
-func ReadFooter(f RangeFetcher, fileSize int64) (*Footer, error) {
+func ReadFooter(ctx context.Context, f RangeFetcher, fileSize int64) (*Footer, error) {
 	tailLen := int64(4 + len(Magic))
 	if fileSize < tailLen+int64(len(Magic)) {
 		return nil, fmt.Errorf("colstore: file too small (%d bytes)", fileSize)
 	}
-	tail, err := f.Fetch(fileSize-tailLen, tailLen)
+	tail, err := f.Fetch(ctx, fileSize-tailLen, tailLen)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +294,7 @@ func ReadFooter(f RangeFetcher, fileSize int64) (*Footer, error) {
 	if footerLen <= 0 || footerLen > fileSize-tailLen {
 		return nil, fmt.Errorf("colstore: bad footer length %d", footerLen)
 	}
-	raw, err := f.Fetch(fileSize-tailLen-footerLen, footerLen)
+	raw, err := f.Fetch(ctx, fileSize-tailLen-footerLen, footerLen)
 	if err != nil {
 		return nil, err
 	}
@@ -311,8 +313,8 @@ type Reader struct {
 }
 
 // NewReader opens a columnar file for reading.
-func NewReader(f RangeFetcher, fileSize int64) (*Reader, error) {
-	footer, err := ReadFooter(f, fileSize)
+func NewReader(ctx context.Context, f RangeFetcher, fileSize int64) (*Reader, error) {
+	footer, err := ReadFooter(ctx, f, fileSize)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +336,7 @@ func (r *Reader) Groups() int { return len(r.footer.Groups) }
 
 // ReadGroup decodes the named columns of row group g into rows laid out in
 // the given column order. Only those columns' chunks are fetched.
-func (r *Reader) ReadGroup(g int, columns []string) ([]types.Row, error) {
+func (r *Reader) ReadGroup(ctx context.Context, g int, columns []string) ([]types.Row, error) {
 	if g < 0 || g >= len(r.footer.Groups) {
 		return nil, fmt.Errorf("colstore: row group %d out of range", g)
 	}
@@ -352,7 +354,7 @@ func (r *Reader) ReadGroup(g int, columns []string) ([]types.Row, error) {
 			return nil, fmt.Errorf("colstore: unknown column %q", name)
 		}
 		chunk := group.Chunks[idx]
-		comp, err := r.f.Fetch(chunk.Offset, chunk.Size)
+		comp, err := r.f.Fetch(ctx, chunk.Offset, chunk.Size)
 		if err != nil {
 			return nil, err
 		}
@@ -377,7 +379,7 @@ func (r *Reader) ReadGroup(g int, columns []string) ([]types.Row, error) {
 type BytesFetcher []byte
 
 // Fetch implements RangeFetcher.
-func (b BytesFetcher) Fetch(off, size int64) ([]byte, error) {
+func (b BytesFetcher) Fetch(_ context.Context, off, size int64) ([]byte, error) {
 	if off < 0 || off+size > int64(len(b)) {
 		return nil, fmt.Errorf("colstore: fetch [%d,%d) out of %d", off, off+size, len(b))
 	}

@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -46,14 +47,14 @@ func writeFile(t *testing.T, rows []types.Row, groupSize int) []byte {
 func TestRoundTrip(t *testing.T) {
 	rows := sampleRows(100)
 	file := writeFile(t, rows, 0)
-	r, err := NewReader(BytesFetcher(file), int64(len(file)))
+	r, err := NewReader(context.Background(), BytesFetcher(file), int64(len(file)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Rows() != 100 || r.Groups() != 1 {
 		t.Fatalf("rows=%d groups=%d", r.Rows(), r.Groups())
 	}
-	got, err := r.ReadGroup(0, nil)
+	got, err := r.ReadGroup(context.Background(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestRoundTrip(t *testing.T) {
 func TestMultipleRowGroups(t *testing.T) {
 	rows := sampleRows(250)
 	file := writeFile(t, rows, 100)
-	r, err := NewReader(BytesFetcher(file), int64(len(file)))
+	r, err := NewReader(context.Background(), BytesFetcher(file), int64(len(file)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestMultipleRowGroups(t *testing.T) {
 	}
 	var total int
 	for g := 0; g < r.Groups(); g++ {
-		part, err := r.ReadGroup(g, []string{"n"})
+		part, err := r.ReadGroup(context.Background(), g, []string{"n"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,18 +105,18 @@ func TestColumnPruningFetchesLess(t *testing.T) {
 	rows := sampleRows(2000)
 	file := writeFile(t, rows, 0)
 	count := &countingFetcher{b: file}
-	r, err := NewReader(count, int64(len(file)))
+	r, err := NewReader(context.Background(), count, int64(len(file)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	footerBytes := count.n
 	count.n = 0
-	if _, err := r.ReadGroup(0, []string{"n"}); err != nil {
+	if _, err := r.ReadGroup(context.Background(), 0, []string{"n"}); err != nil {
 		t.Fatal(err)
 	}
 	oneCol := count.n
 	count.n = 0
-	if _, err := r.ReadGroup(0, nil); err != nil {
+	if _, err := r.ReadGroup(context.Background(), 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	allCols := count.n
@@ -149,8 +150,8 @@ func TestCompression(t *testing.T) {
 func TestProjectionOrder(t *testing.T) {
 	rows := sampleRows(10)
 	file := writeFile(t, rows, 0)
-	r, _ := NewReader(BytesFetcher(file), int64(len(file)))
-	got, err := r.ReadGroup(0, []string{"n", "vid"})
+	r, _ := NewReader(context.Background(), BytesFetcher(file), int64(len(file)))
+	got, err := r.ReadGroup(context.Background(), 0, []string{"n", "vid"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,8 +166,8 @@ func TestNullsRoundTrip(t *testing.T) {
 		{types.Str("x"), types.Str("y"), types.FloatV(1), types.IntV(2), types.BoolV(false)},
 	}
 	file := writeFile(t, rows, 0)
-	r, _ := NewReader(BytesFetcher(file), int64(len(file)))
-	got, err := r.ReadGroup(0, nil)
+	r, _ := NewReader(context.Background(), BytesFetcher(file), int64(len(file)))
+	got, err := r.ReadGroup(context.Background(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,22 +193,22 @@ func TestErrors(t *testing.T) {
 	// Corrupt / truncated files.
 	rows := sampleRows(5)
 	file := writeFile(t, rows, 0)
-	if _, err := NewReader(BytesFetcher(file[:8]), 8); err == nil {
+	if _, err := NewReader(context.Background(), BytesFetcher(file[:8]), 8); err == nil {
 		t.Error("truncated file accepted")
 	}
 	bad := append([]byte{}, file...)
 	copy(bad[len(bad)-len(Magic):], "WRONG")
-	if _, err := NewReader(BytesFetcher(bad), int64(len(bad))); err == nil {
+	if _, err := NewReader(context.Background(), BytesFetcher(bad), int64(len(bad))); err == nil {
 		t.Error("bad magic accepted")
 	}
-	r, _ := NewReader(BytesFetcher(file), int64(len(file)))
-	if _, err := r.ReadGroup(99, nil); err == nil {
+	r, _ := NewReader(context.Background(), BytesFetcher(file), int64(len(file)))
+	if _, err := r.ReadGroup(context.Background(), 99, nil); err == nil {
 		t.Error("bad group accepted")
 	}
-	if _, err := r.ReadGroup(0, []string{"ghost"}); err == nil {
+	if _, err := r.ReadGroup(context.Background(), 0, []string{"ghost"}); err == nil {
 		t.Error("unknown column accepted")
 	}
-	if _, err := BytesFetcher(file).Fetch(-1, 5); err == nil {
+	if _, err := BytesFetcher(file).Fetch(context.Background(), -1, 5); err == nil {
 		t.Error("negative fetch accepted")
 	}
 }
@@ -218,7 +219,7 @@ func TestEmptyFile(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewReader(BytesFetcher(buf.Bytes()), int64(buf.Len()))
+	r, err := NewReader(context.Background(), BytesFetcher(buf.Bytes()), int64(buf.Len()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,11 +245,11 @@ func TestValueRoundTripProperty(t *testing.T) {
 		if err := w.Close(); err != nil {
 			return false
 		}
-		r, err := NewReader(BytesFetcher(buf.Bytes()), int64(buf.Len()))
+		r, err := NewReader(context.Background(), BytesFetcher(buf.Bytes()), int64(buf.Len()))
 		if err != nil {
 			return false
 		}
-		got, err := r.ReadGroup(0, nil)
+		got, err := r.ReadGroup(context.Background(), 0, nil)
 		if err != nil {
 			return false
 		}
@@ -313,7 +314,7 @@ type countingFetcher struct {
 	n int64
 }
 
-func (c *countingFetcher) Fetch(off, size int64) ([]byte, error) {
+func (c *countingFetcher) Fetch(ctx context.Context, off, size int64) ([]byte, error) {
 	c.n += size
-	return BytesFetcher(c.b).Fetch(off, size)
+	return BytesFetcher(c.b).Fetch(ctx, off, size)
 }

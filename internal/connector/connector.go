@@ -7,6 +7,7 @@
 package connector
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -84,8 +85,8 @@ func (c *Connector) Client() objectstore.Client { return c.client }
 // DiscoverPartitions lists the objects under container/prefix and divides
 // each into chunk-size splits — the "partition discovery" step that happens
 // before a query is even specified (paper §V-B).
-func (c *Connector) DiscoverPartitions(container, prefix string) ([]Split, error) {
-	objects, err := c.client.ListObjects(c.account, container, prefix)
+func (c *Connector) DiscoverPartitions(ctx context.Context, container, prefix string) ([]Split, error) {
+	objects, err := c.client.ListObjects(ctx, c.account, container, prefix)
 	if err != nil {
 		return nil, fmt.Errorf("connector: discover: %w", err)
 	}
@@ -108,13 +109,13 @@ func (c *Connector) DiscoverPartitions(container, prefix string) ([]Split, error
 // Open issues the ranged GET for a split, tagging it with the pushdown chain
 // when given. The returned stream is either raw object bytes (tasks == nil;
 // record alignment is then the reader's job) or the filter output.
-func (c *Connector) Open(split Split, tasks []*pushdown.Task) (io.ReadCloser, error) {
+func (c *Connector) Open(ctx context.Context, split Split, tasks []*pushdown.Task) (io.ReadCloser, error) {
 	opts := objectstore.GetOptions{
 		RangeStart: split.Start,
 		RangeEnd:   split.End,
 		Pushdown:   tasks,
 	}
-	rc, _, err := c.client.GetObject(split.Account, split.Container, split.Object, opts)
+	rc, _, err := c.client.GetObject(ctx, split.Account, split.Container, split.Object, opts)
 	if err != nil {
 		return nil, fmt.Errorf("connector: open %s: %w", split, err)
 	}
@@ -123,8 +124,8 @@ func (c *Connector) Open(split Split, tasks []*pushdown.Task) (io.ReadCloser, er
 }
 
 // Upload stores an object through the connector's account.
-func (c *Connector) Upload(container, object string, r io.Reader) (objectstore.ObjectInfo, error) {
-	return c.client.PutObject(c.account, container, object, r, nil)
+func (c *Connector) Upload(ctx context.Context, container, object string, r io.Reader) (objectstore.ObjectInfo, error) {
+	return c.client.PutObject(ctx, c.account, container, object, r, nil)
 }
 
 type counted struct {

@@ -1,6 +1,7 @@
 package connector
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func newStore(t *testing.T) objectstore.Client {
 		t.Fatal(err)
 	}
 	cl := c.Client()
-	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); err != nil {
 		t.Fatal(err)
 	}
 	return cl
@@ -33,13 +34,13 @@ func newStore(t *testing.T) objectstore.Client {
 func TestDiscoverPartitions(t *testing.T) {
 	cl := newStore(t)
 	conn := New(cl, "gp", 40)
-	if _, err := conn.Upload("meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+	if _, err := conn.Upload(context.Background(), "meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Upload("meters", "feb.csv", strings.NewReader(meterCSV[:33])); err != nil {
+	if _, err := conn.Upload(context.Background(), "meters", "feb.csv", strings.NewReader(meterCSV[:33])); err != nil {
 		t.Fatal(err)
 	}
-	splits, err := conn.DiscoverPartitions("meters", "")
+	splits, err := conn.DiscoverPartitions(context.Background(), "meters", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestDiscoverPartitions(t *testing.T) {
 		t.Errorf("split bytes = %d", total)
 	}
 	// Prefix filter.
-	splits, err = conn.DiscoverPartitions("meters", "feb")
+	splits, err = conn.DiscoverPartitions(context.Background(), "meters", "feb")
 	if err != nil || len(splits) != 1 {
 		t.Fatalf("prefix splits = %v, %v", splits, err)
 	}
@@ -70,7 +71,7 @@ func TestDiscoverPartitions(t *testing.T) {
 func TestDiscoverMissingContainer(t *testing.T) {
 	cl := newStore(t)
 	conn := New(cl, "gp", 0)
-	if _, err := conn.DiscoverPartitions("ghost", ""); err == nil {
+	if _, err := conn.DiscoverPartitions(context.Background(), "ghost", ""); err == nil {
 		t.Error("missing container should fail")
 	}
 }
@@ -78,14 +79,14 @@ func TestDiscoverMissingContainer(t *testing.T) {
 func TestOpenRawAndStats(t *testing.T) {
 	cl := newStore(t)
 	conn := New(cl, "gp", 0)
-	if _, err := conn.Upload("meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+	if _, err := conn.Upload(context.Background(), "meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
 		t.Fatal(err)
 	}
-	splits, err := conn.DiscoverPartitions("meters", "")
+	splits, err := conn.DiscoverPartitions(context.Background(), "meters", "")
 	if err != nil || len(splits) != 1 {
 		t.Fatalf("splits = %v, %v", splits, err)
 	}
-	rc, err := conn.Open(splits[0], nil)
+	rc, err := conn.Open(context.Background(), splits[0], nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +108,10 @@ func TestOpenRawAndStats(t *testing.T) {
 func TestOpenWithPushdownReducesIngestion(t *testing.T) {
 	cl := newStore(t)
 	conn := New(cl, "gp", 0)
-	if _, err := conn.Upload("meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+	if _, err := conn.Upload(context.Background(), "meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
 		t.Fatal(err)
 	}
-	splits, _ := conn.DiscoverPartitions("meters", "")
+	splits, _ := conn.DiscoverPartitions(context.Background(), "meters", "")
 	task := &pushdown.Task{
 		Filter:  "csv",
 		Schema:  "vid string, date string, index double, city string, state string",
@@ -119,7 +120,7 @@ func TestOpenWithPushdownReducesIngestion(t *testing.T) {
 			{Column: "state", Op: pushdown.OpEq, Value: "FRA"},
 		},
 	}
-	rc, err := conn.Open(splits[0], []*pushdown.Task{task})
+	rc, err := conn.Open(context.Background(), splits[0], []*pushdown.Task{task})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestOpenWithPushdownReducesIngestion(t *testing.T) {
 func TestOpenMissingObject(t *testing.T) {
 	cl := newStore(t)
 	conn := New(cl, "gp", 0)
-	_, err := conn.Open(Split{Account: "gp", Container: "meters", Object: "ghost", End: 10}, nil)
+	_, err := conn.Open(context.Background(), Split{Account: "gp", Container: "meters", Object: "ghost", End: 10}, nil)
 	if err == nil {
 		t.Error("missing object should fail")
 	}

@@ -65,7 +65,7 @@ func (s *Scoop) AggregateQuery(table string, groupCols []string, specs []aggfilt
 	if err != nil {
 		return nil, err
 	}
-	splits, err := rel.Splits()
+	splits, err := rel.Splits(opts.ctx())
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +74,7 @@ func (s *Scoop) AggregateQuery(table string, groupCols []string, specs []aggfilt
 	for i, split := range splits {
 		split := split
 		tasks[i] = func(ctx context.Context) (any, error) {
-			rc, err := s.conn.Open(split, []*pushdown.Task{task})
+			rc, err := s.conn.Open(ctx, split, []*pushdown.Task{task})
 			if err != nil {
 				return nil, err
 			}

@@ -227,7 +227,7 @@ func (s *Scoop) EnableAdaptive(ctrl *adaptive.Controller, tenant string) {
 
 // AnalyzeTable samples the table and stores column statistics for the
 // adaptive controller's selectivity estimates (ANALYZE, in SQL terms).
-func (s *Scoop) AnalyzeTable(name string, maxRows int) error {
+func (s *Scoop) AnalyzeTable(ctx context.Context, name string, maxRows int) error {
 	s.mu.RLock()
 	def, ok := s.tables[strings.ToLower(name)]
 	s.mu.RUnlock()
@@ -238,7 +238,7 @@ func (s *Scoop) AnalyzeTable(name string, maxRows int) error {
 	if err != nil {
 		return err
 	}
-	stats, err := adaptive.CollectStats(rel, maxRows)
+	stats, err := adaptive.CollectStats(ctx, rel, maxRows)
 	if err != nil {
 		return err
 	}
@@ -301,9 +301,18 @@ type QueryOptions struct {
 	Context context.Context
 }
 
+// ctx returns the query's context, defaulting to Background.
+func (o QueryOptions) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
 // Query parses and executes a SQL SELECT against a registered table.
 func (s *Scoop) Query(sql string, opts QueryOptions) (*Result, error) {
 	start := time.Now()
+	qctx := opts.ctx()
 	sel, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -328,7 +337,7 @@ func (s *Scoop) Query(sql string, opts QueryOptions) (*Result, error) {
 	decision := ""
 	if opts.Mode == ModeAuto {
 		var err error
-		effMode, decision, err = s.decideMode(sel.Table, def, p)
+		effMode, decision, err = s.decideMode(qctx, sel.Table, def, p)
 		if err != nil {
 			return nil, err
 		}
@@ -338,7 +347,7 @@ func (s *Scoop) Query(sql string, opts QueryOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	splits, err := rel.Splits()
+	splits, err := rel.Splits(qctx)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +357,7 @@ func (s *Scoop) Query(sql string, opts QueryOptions) (*Result, error) {
 	for i, split := range splits {
 		split := split
 		tasks[i] = func(ctx context.Context) (any, error) {
-			it, err := rel.ScanPrunedFiltered(split, p.Required, p.Pushed)
+			it, err := rel.ScanPrunedFiltered(ctx, split, p.Required, p.Pushed)
 			if err != nil {
 				return nil, err
 			}
@@ -405,7 +414,7 @@ func (s *Scoop) Query(sql string, opts QueryOptions) (*Result, error) {
 
 // decideMode consults the adaptive controller for a ModeAuto query, lazily
 // sampling table statistics on first use.
-func (s *Scoop) decideMode(table string, def tableDef, p *plan.Plan) (Mode, string, error) {
+func (s *Scoop) decideMode(ctx context.Context, table string, def tableDef, p *plan.Plan) (Mode, string, error) {
 	s.mu.RLock()
 	ctrl, tenant := s.ctrl, s.tenant
 	s.mu.RUnlock()
@@ -413,7 +422,7 @@ func (s *Scoop) decideMode(table string, def tableDef, p *plan.Plan) (Mode, stri
 		return ModePushdown, "", fmt.Errorf("core: ModeAuto requires EnableAdaptive")
 	}
 	if def.stats == nil {
-		if err := s.AnalyzeTable(table, 2000); err != nil {
+		if err := s.AnalyzeTable(ctx, table, 2000); err != nil {
 			return ModePushdown, "", err
 		}
 		s.mu.RLock()
@@ -421,7 +430,7 @@ func (s *Scoop) decideMode(table string, def tableDef, p *plan.Plan) (Mode, stri
 		s.mu.RUnlock()
 	}
 	// Dataset size from the container listing.
-	objects, err := s.client.ListObjects(s.Account(), def.container, def.prefix)
+	objects, err := s.client.ListObjects(ctx, s.Account(), def.container, def.prefix)
 	if err != nil {
 		return ModePushdown, "", err
 	}
@@ -470,11 +479,11 @@ func (s *Scoop) Explain(sql string) (string, error) {
 // as `objects` CSV objects under container (created if missing). It returns
 // the total bytes stored — the dataset size experiments report selectivity
 // against.
-func (s *Scoop) UploadMeterDataset(container string, cfg meter.Config, objects int) (int64, error) {
+func (s *Scoop) UploadMeterDataset(ctx context.Context, container string, cfg meter.Config, objects int) (int64, error) {
 	if objects < 1 {
 		objects = 1
 	}
-	err := s.client.CreateContainer(s.Account(), container, nil)
+	err := s.client.CreateContainer(ctx, s.Account(), container, nil)
 	if err != nil && err != objectstore.ErrContainerExists {
 		return 0, err
 	}
@@ -505,7 +514,7 @@ func (s *Scoop) UploadMeterDataset(container string, cfg meter.Config, objects i
 			break
 		}
 		name := fmt.Sprintf("part-%04d.csv", i)
-		info, err := s.client.PutObject(s.Account(), container, name, strings.NewReader(data[startOff:end]), nil)
+		info, err := s.client.PutObject(ctx, s.Account(), container, name, strings.NewReader(data[startOff:end]), nil)
 		if err != nil {
 			return total, err
 		}

@@ -26,7 +26,7 @@ func newScoop(t *testing.T) (*Scoop, int64) {
 	cfg.Meters = 20
 	cfg.Days = 3
 	cfg.Interval = time.Hour
-	size, err := s.UploadMeterDataset("meters", cfg, 3)
+	size, err := s.UploadMeterDataset(context.Background(), "meters", cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +194,11 @@ func TestUploadMeterDatasetSplitsOnRecordBoundaries(t *testing.T) {
 	cfg.Meters = 7
 	cfg.Days = 1
 	cfg.Interval = time.Hour
-	size, err := s.UploadMeterDataset("m", cfg, 4)
+	size, err := s.UploadMeterDataset(context.Background(), "m", cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	list, err := s.Client().ListObjects(s.Account(), "m", "")
+	list, err := s.Client().ListObjects(context.Background(), s.Account(), "m", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestUploadMeterDatasetSplitsOnRecordBoundaries(t *testing.T) {
 	}
 	// Re-upload into an existing container works (fresh container state is
 	// not required), under a distinct object prefix.
-	if _, err := s.UploadMeterDataset("m", cfg, 1); err != nil {
+	if _, err := s.UploadMeterDataset(context.Background(), "m", cfg, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -256,14 +256,14 @@ func TestJSONTableSQL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Client().CreateContainer(s.Account(), "events", nil); err != nil {
+	if err := s.Client().CreateContainer(context.Background(), s.Account(), "events", nil); err != nil {
 		t.Fatal(err)
 	}
 	docs := `{"vid": "V1", "index": 10.5, "state": "NED"}
 {"vid": "V2", "index": 5.0, "state": "FRA"}
 {"vid": "V3", "index": 7.5, "state": "FRA"}
 `
-	if _, err := s.Client().PutObject(s.Account(), "events", "e.jsonl", strings.NewReader(docs), nil); err != nil {
+	if _, err := s.Client().PutObject(context.Background(), s.Account(), "events", "e.jsonl", strings.NewReader(docs), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.RegisterJSONTable("events", "events", "", "vid string, index double, state string", datasource.JSONOptions{}); err != nil {
@@ -434,10 +434,10 @@ func TestModeAuto(t *testing.T) {
 
 func TestAnalyzeTable(t *testing.T) {
 	s, _ := newScoop(t)
-	if err := s.AnalyzeTable("largeMeter", 500); err != nil {
+	if err := s.AnalyzeTable(context.Background(), "largeMeter", 500); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AnalyzeTable("ghost", 500); err == nil {
+	if err := s.AnalyzeTable(context.Background(), "ghost", 500); err == nil {
 		t.Error("unknown table accepted")
 	}
 }

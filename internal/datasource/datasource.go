@@ -7,6 +7,7 @@
 package datasource
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -39,16 +40,16 @@ type Relation interface {
 	// Schema describes the rows Scan yields.
 	Schema() *types.Schema
 	// Splits lists the partitions of the dataset.
-	Splits() ([]connector.Split, error)
+	Splits(ctx context.Context) ([]connector.Split, error)
 	// Scan reads one split, returning every row with every column.
-	Scan(split connector.Split) (exec.Iterator, error)
+	Scan(ctx context.Context, split connector.Split) (exec.Iterator, error)
 }
 
 // PrunedScanner is the PrunedScan flavor: the source prunes columns.
 type PrunedScanner interface {
 	Relation
 	// ScanPruned reads one split returning only the named columns, in order.
-	ScanPruned(split connector.Split, columns []string) (exec.Iterator, error)
+	ScanPruned(ctx context.Context, split connector.Split, columns []string) (exec.Iterator, error)
 }
 
 // PrunedFilteredScanner is the PrunedFilteredScan flavor: the source prunes
@@ -57,7 +58,7 @@ type PrunedFilteredScanner interface {
 	PrunedScanner
 	// ScanPrunedFiltered reads one split returning only the named columns of
 	// rows satisfying all predicates.
-	ScanPrunedFiltered(split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error)
+	ScanPrunedFiltered(ctx context.Context, split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error)
 }
 
 // CSVOptions configure a CSV relation.
@@ -116,24 +117,24 @@ func NewCSV(conn *connector.Connector, container, prefix, schemaDecl string, opt
 func (r *CSVRelation) Schema() *types.Schema { return r.schema }
 
 // Splits implements Relation.
-func (r *CSVRelation) Splits() ([]connector.Split, error) {
-	return r.conn.DiscoverPartitions(r.container, r.prefix)
+func (r *CSVRelation) Splits(ctx context.Context) ([]connector.Split, error) {
+	return r.conn.DiscoverPartitions(ctx, r.container, r.prefix)
 }
 
 // Scan implements Relation: all columns, all rows.
-func (r *CSVRelation) Scan(split connector.Split) (exec.Iterator, error) {
-	return r.ScanPrunedFiltered(split, nil, nil)
+func (r *CSVRelation) Scan(ctx context.Context, split connector.Split) (exec.Iterator, error) {
+	return r.ScanPrunedFiltered(ctx, split, nil, nil)
 }
 
 // ScanPruned implements PrunedScanner.
-func (r *CSVRelation) ScanPruned(split connector.Split, columns []string) (exec.Iterator, error) {
-	return r.ScanPrunedFiltered(split, columns, nil)
+func (r *CSVRelation) ScanPruned(ctx context.Context, split connector.Split, columns []string) (exec.Iterator, error) {
+	return r.ScanPrunedFiltered(ctx, split, columns, nil)
 }
 
 // ScanPrunedFiltered implements PrunedFilteredScanner. In pushdown mode it
 // tags the split's GET with a CSV filter task; otherwise it ingests the raw
 // range and prunes/filters after parsing, at the compute side.
-func (r *CSVRelation) ScanPrunedFiltered(split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error) {
+func (r *CSVRelation) ScanPrunedFiltered(ctx context.Context, split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error) {
 	outSchema := r.schema
 	if len(columns) > 0 {
 		var err error
@@ -161,7 +162,7 @@ func (r *CSVRelation) ScanPrunedFiltered(split connector.Split, columns []string
 		if r.opts.CompressTransfer {
 			chain = append(chain, &pushdown.Task{Filter: compressfilter.FilterName, Stage: r.opts.Stage})
 		}
-		rc, err := r.conn.Open(split, chain)
+		rc, err := r.conn.Open(ctx, split, chain)
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +190,7 @@ func (r *CSVRelation) ScanPrunedFiltered(split connector.Split, columns []string
 	// means the tail is never actually transferred.
 	open := split
 	open.End = split.ObjectSize
-	rc, err := r.conn.Open(open, nil)
+	rc, err := r.conn.Open(ctx, open, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package datasource
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -36,11 +37,11 @@ func newFixture(t *testing.T, chunkSize int64) *fixture {
 		t.Fatal(err)
 	}
 	cl := c.Client()
-	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); err != nil {
 		t.Fatal(err)
 	}
 	conn := connector.New(cl, "gp", chunkSize)
-	if _, err := conn.Upload("meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+	if _, err := conn.Upload(context.Background(), "meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
 		t.Fatal(err)
 	}
 	return &fixture{cluster: c, conn: conn}
@@ -62,15 +63,15 @@ func drain(t *testing.T, it exec.Iterator) []types.Row {
 	}
 }
 
-func allRows(t *testing.T, rel Relation, scan func(connector.Split) (exec.Iterator, error)) []types.Row {
+func allRows(t *testing.T, rel Relation, scan func(context.Context, connector.Split) (exec.Iterator, error)) []types.Row {
 	t.Helper()
-	splits, err := rel.Splits()
+	splits, err := rel.Splits(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var out []types.Row
 	for _, s := range splits {
-		it, err := scan(s)
+		it, err := scan(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,8 +109,8 @@ func TestScanPruned(t *testing.T) {
 	modes(t, func(t *testing.T, pd bool) {
 		fx := newFixture(t, 0)
 		rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: pd})
-		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-			return rel.ScanPruned(s, []string{"state", "index"})
+		rows := allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPruned(context.Background(), s, []string{"state", "index"})
 		})
 		if len(rows) != 3 {
 			t.Fatalf("rows = %d", len(rows))
@@ -128,8 +129,8 @@ func TestScanPrunedFiltered(t *testing.T) {
 			{Column: "date", Op: pushdown.OpLike, Value: "2015-01%"},
 			{Column: "index", Op: pushdown.OpGt, Value: "6", Numeric: true},
 		}
-		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-			return rel.ScanPrunedFiltered(s, []string{"vid"}, preds)
+		rows := allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPrunedFiltered(context.Background(), s, []string{"vid"}, preds)
 		})
 		if len(rows) != 1 || rows[0][0].S != "V1" {
 			t.Fatalf("rows = %v", rows)
@@ -143,15 +144,15 @@ func TestPushdownIngestsFewerBytes(t *testing.T) {
 	preds := []pushdown.Predicate{{Column: "state", Op: pushdown.OpEq, Value: "FRA"}}
 
 	base, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: false})
-	baseRows := allRows(t, base, func(s connector.Split) (exec.Iterator, error) {
-		return base.ScanPrunedFiltered(s, []string{"vid"}, preds)
+	baseRows := allRows(t, base, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+		return base.ScanPrunedFiltered(context.Background(), s, []string{"vid"}, preds)
 	})
 	baseBytes := fx.conn.Stats().BytesIngested
 
 	fx.conn.ResetStats()
 	push, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: true})
-	pushRows := allRows(t, push, func(s connector.Split) (exec.Iterator, error) {
-		return push.ScanPrunedFiltered(s, []string{"vid"}, preds)
+	pushRows := allRows(t, push, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+		return push.ScanPrunedFiltered(context.Background(), s, []string{"vid"}, preds)
 	})
 	pushBytes := fx.conn.Stats().BytesIngested
 
@@ -168,15 +169,15 @@ func TestMultiSplitExactlyOnce(t *testing.T) {
 	modes(t, func(t *testing.T, pd bool) {
 		fx := newFixture(t, 25) // forces several splits of the 99-byte object
 		rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{Pushdown: pd})
-		splits, err := rel.Splits()
+		splits, err := rel.Splits(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(splits) < 3 {
 			t.Fatalf("want multiple splits, got %v", splits)
 		}
-		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-			return rel.ScanPruned(s, []string{"vid"})
+		rows := allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPruned(context.Background(), s, []string{"vid"})
 		})
 		seen := map[string]int{}
 		for _, r := range rows {
@@ -194,12 +195,12 @@ func TestHeaderHandling(t *testing.T) {
 	modes(t, func(t *testing.T, pd bool) {
 		fx := newFixture(t, 0)
 		data := "vid,date,index,city,state\n" + meterCSV
-		if _, err := fx.conn.Upload("meters", "hdr.csv", strings.NewReader(data)); err != nil {
+		if _, err := fx.conn.Upload(context.Background(), "meters", "hdr.csv", strings.NewReader(data)); err != nil {
 			t.Fatal(err)
 		}
 		rel, _ := NewCSV(fx.conn, "meters", "hdr", schemaDecl, CSVOptions{Pushdown: pd, Header: true})
-		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-			return rel.ScanPruned(s, []string{"vid"})
+		rows := allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPruned(context.Background(), s, []string{"vid"})
 		})
 		if len(rows) != 3 {
 			t.Fatalf("rows = %v", rows)
@@ -217,18 +218,18 @@ func TestBadSchema(t *testing.T) {
 func TestUnknownColumns(t *testing.T) {
 	fx := newFixture(t, 0)
 	rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{})
-	splits, _ := rel.Splits()
-	if _, err := rel.ScanPruned(splits[0], []string{"ghost"}); err == nil {
+	splits, _ := rel.Splits(context.Background())
+	if _, err := rel.ScanPruned(context.Background(), splits[0], []string{"ghost"}); err == nil {
 		t.Error("unknown projected column should fail")
 	}
-	if _, err := rel.ScanPrunedFiltered(splits[0], nil, []pushdown.Predicate{{Column: "ghost", Op: pushdown.OpEq}}); err == nil {
+	if _, err := rel.ScanPrunedFiltered(context.Background(), splits[0], nil, []pushdown.Predicate{{Column: "ghost", Op: pushdown.OpEq}}); err == nil {
 		t.Error("unknown predicate column should fail")
 	}
 }
 
 func TestDirtyNumericBecomesNull(t *testing.T) {
 	fx := newFixture(t, 0)
-	if _, err := fx.conn.Upload("meters", "dirty.csv", strings.NewReader("V9,2015-01-01,notanumber,Paris,FRA\n")); err != nil {
+	if _, err := fx.conn.Upload(context.Background(), "meters", "dirty.csv", strings.NewReader("V9,2015-01-01,notanumber,Paris,FRA\n")); err != nil {
 		t.Fatal(err)
 	}
 	rel, _ := NewCSV(fx.conn, "meters", "dirty", schemaDecl, CSVOptions{})
@@ -245,7 +246,7 @@ func TestCompressTransfer(t *testing.T) {
 	}
 	// Bigger object so compression can pay off.
 	big := strings.Repeat(meterCSV, 200)
-	if _, err := fx.conn.Upload("meters", "big.csv", strings.NewReader(big)); err != nil {
+	if _, err := fx.conn.Upload(context.Background(), "meters", "big.csv", strings.NewReader(big)); err != nil {
 		t.Fatal(err)
 	}
 	plain, _ := NewCSV(fx.conn, "meters", "big", schemaDecl, CSVOptions{Pushdown: true})
@@ -277,8 +278,8 @@ func TestCompressTransfer(t *testing.T) {
 func TestIteratorCloseIdempotent(t *testing.T) {
 	fx := newFixture(t, 0)
 	rel, _ := NewCSV(fx.conn, "meters", "", schemaDecl, CSVOptions{})
-	splits, _ := rel.Splits()
-	it, err := rel.Scan(splits[0])
+	splits, _ := rel.Splits(context.Background())
+	it, err := rel.Scan(context.Background(), splits[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package datasource
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -51,22 +52,22 @@ func NewJSON(conn *connector.Connector, container, prefix, schemaDecl string, op
 func (r *JSONRelation) Schema() *types.Schema { return r.schema }
 
 // Splits implements Relation.
-func (r *JSONRelation) Splits() ([]connector.Split, error) {
-	return r.conn.DiscoverPartitions(r.container, r.prefix)
+func (r *JSONRelation) Splits(ctx context.Context) ([]connector.Split, error) {
+	return r.conn.DiscoverPartitions(ctx, r.container, r.prefix)
 }
 
 // Scan implements Relation.
-func (r *JSONRelation) Scan(split connector.Split) (exec.Iterator, error) {
-	return r.ScanPrunedFiltered(split, nil, nil)
+func (r *JSONRelation) Scan(ctx context.Context, split connector.Split) (exec.Iterator, error) {
+	return r.ScanPrunedFiltered(ctx, split, nil, nil)
 }
 
 // ScanPruned implements PrunedScanner.
-func (r *JSONRelation) ScanPruned(split connector.Split, columns []string) (exec.Iterator, error) {
-	return r.ScanPrunedFiltered(split, columns, nil)
+func (r *JSONRelation) ScanPruned(ctx context.Context, split connector.Split, columns []string) (exec.Iterator, error) {
+	return r.ScanPrunedFiltered(ctx, split, columns, nil)
 }
 
 // ScanPrunedFiltered implements PrunedFilteredScanner.
-func (r *JSONRelation) ScanPrunedFiltered(split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error) {
+func (r *JSONRelation) ScanPrunedFiltered(ctx context.Context, split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error) {
 	outSchema := r.schema
 	if len(columns) > 0 {
 		var err error
@@ -87,7 +88,7 @@ func (r *JSONRelation) ScanPrunedFiltered(split connector.Split, columns []strin
 		if r.opts.SkipInvalid {
 			task.Options[jsonfilter.OptSkipInvalid] = "true"
 		}
-		rc, err := r.conn.Open(split, []*pushdown.Task{task})
+		rc, err := r.conn.Open(ctx, split, []*pushdown.Task{task})
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +103,7 @@ func (r *JSONRelation) ScanPrunedFiltered(split connector.Split, columns []strin
 	// Baseline: raw lines, JSON decoding at the compute side.
 	open := split
 	open.End = split.ObjectSize
-	rc, err := r.conn.Open(open, nil)
+	rc, err := r.conn.Open(ctx, open, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package datasource
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,10 +24,10 @@ func newJSONFixture(t *testing.T) *fixture {
 	if err := fx.cluster.Engine().Register(jsonfilter.New()); err != nil {
 		t.Fatal(err)
 	}
-	if err := fx.conn.Client().CreateContainer("gp", "jmeters", nil); err != nil {
+	if err := fx.conn.Client().CreateContainer(context.Background(), "gp", "jmeters", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fx.conn.Client().PutObject("gp", "jmeters", "docs.jsonl",
+	if _, err := fx.conn.Client().PutObject(context.Background(), "gp", "jmeters", "docs.jsonl",
 		strings.NewReader(jsonDocs), nil); err != nil {
 		t.Fatal(err)
 	}
@@ -60,8 +61,8 @@ func TestJSONPrunedFiltered(t *testing.T) {
 		fx := newJSONFixture(t)
 		rel, _ := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{Pushdown: pd})
 		preds := []pushdown.Predicate{{Column: "index", Op: pushdown.OpGt, Value: "2", Numeric: true}}
-		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-			return rel.ScanPrunedFiltered(s, []string{"vid", "index"}, preds)
+		rows := allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPrunedFiltered(context.Background(), s, []string{"vid", "index"}, preds)
 		})
 		if len(rows) != 2 || len(rows[0]) != 2 {
 			t.Fatalf("rows = %v", rows)
@@ -74,12 +75,12 @@ func TestJSONPushdownReducesTransfer(t *testing.T) {
 	preds := []pushdown.Predicate{{Column: "state", Op: pushdown.OpEq, Value: "FRA"}}
 	scan := func(rel PrunedFilteredScanner) int64 {
 		fx.conn.ResetStats()
-		splits, err := rel.Splits()
+		splits, err := rel.Splits(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, s := range splits {
-			it, err := rel.ScanPrunedFiltered(s, []string{"vid"}, preds)
+			it, err := rel.ScanPrunedFiltered(context.Background(), s, []string{"vid"}, preds)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -102,8 +103,8 @@ func TestJSONModeEquivalence(t *testing.T) {
 	var results [][]string
 	for _, pd := range []bool{false, true} {
 		rel, _ := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{Pushdown: pd})
-		rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-			return rel.ScanPrunedFiltered(s, []string{"vid", "state"}, preds)
+		rows := allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+			return rel.ScanPrunedFiltered(context.Background(), s, []string{"vid", "state"}, preds)
 		})
 		var rendered []string
 		for _, r := range rows {
@@ -127,8 +128,8 @@ func TestJSONBadSchemaAndColumns(t *testing.T) {
 		t.Error("bad schema accepted")
 	}
 	rel, _ := NewJSON(fx.conn, "jmeters", "", jsonSchema, JSONOptions{})
-	splits, _ := rel.Splits()
-	if _, err := rel.ScanPruned(splits[0], []string{"ghost"}); err == nil {
+	splits, _ := rel.Splits(context.Background())
+	if _, err := rel.ScanPruned(context.Background(), splits[0], []string{"ghost"}); err == nil {
 		t.Error("unknown column accepted")
 	}
 }
@@ -136,14 +137,14 @@ func TestJSONBadSchemaAndColumns(t *testing.T) {
 func TestJSONSkipInvalid(t *testing.T) {
 	fx := newJSONFixture(t)
 	dirty := `{"vid": "V9"}` + "\ngarbage line\n"
-	if _, err := fx.conn.Client().PutObject("gp", "jmeters", "dirty.jsonl",
+	if _, err := fx.conn.Client().PutObject(context.Background(), "gp", "jmeters", "dirty.jsonl",
 		strings.NewReader(dirty), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Without skip, baseline parse fails.
 	strict, _ := NewJSON(fx.conn, "jmeters", "dirty", jsonSchema, JSONOptions{})
-	splits, _ := strict.Splits()
-	it, err := strict.Scan(splits[0])
+	splits, _ := strict.Splits(context.Background())
+	it, err := strict.Scan(context.Background(), splits[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package datasource
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -33,21 +34,21 @@ var _ PrunedScanner = (*ParquetRelation)(nil)
 
 // NewParquet opens a columnar dataset under container/prefix. The schema is
 // read from the first object's footer.
-func NewParquet(conn *connector.Connector, container, prefix string) (*ParquetRelation, error) {
+func NewParquet(ctx context.Context, conn *connector.Connector, container, prefix string) (*ParquetRelation, error) {
 	r := &ParquetRelation{
 		conn:      conn,
 		container: container,
 		prefix:    prefix,
 		readers:   make(map[string]*colstore.Reader),
 	}
-	objects, err := conn.Client().ListObjects(conn.Account(), container, prefix)
+	objects, err := conn.Client().ListObjects(ctx, conn.Account(), container, prefix)
 	if err != nil {
 		return nil, err
 	}
 	if len(objects) == 0 {
 		return nil, fmt.Errorf("datasource: no columnar objects under %s/%s", container, prefix)
 	}
-	rd, err := r.reader(objects[0].Name, objects[0].Size)
+	rd, err := r.reader(ctx, objects[0].Name, objects[0].Size)
 	if err != nil {
 		return nil, err
 	}
@@ -60,14 +61,14 @@ func (r *ParquetRelation) Schema() *types.Schema { return r.schema }
 
 // Splits implements Relation: one split per row group. The Split's Start
 // field carries the row-group index (columnar files are not byte-divisible).
-func (r *ParquetRelation) Splits() ([]connector.Split, error) {
-	objects, err := r.conn.Client().ListObjects(r.conn.Account(), r.container, r.prefix)
+func (r *ParquetRelation) Splits(ctx context.Context) ([]connector.Split, error) {
+	objects, err := r.conn.Client().ListObjects(ctx, r.conn.Account(), r.container, r.prefix)
 	if err != nil {
 		return nil, err
 	}
 	var out []connector.Split
 	for _, obj := range objects {
-		rd, err := r.reader(obj.Name, obj.Size)
+		rd, err := r.reader(ctx, obj.Name, obj.Size)
 		if err != nil {
 			return nil, err
 		}
@@ -86,19 +87,19 @@ func (r *ParquetRelation) Splits() ([]connector.Split, error) {
 }
 
 // Scan implements Relation.
-func (r *ParquetRelation) Scan(split connector.Split) (exec.Iterator, error) {
-	return r.ScanPruned(split, nil)
+func (r *ParquetRelation) Scan(ctx context.Context, split connector.Split) (exec.Iterator, error) {
+	return r.ScanPruned(ctx, split, nil)
 }
 
 // ScanPruned implements PrunedScanner: only the named columns' chunks are
 // fetched (as ranged GETs through the connector, so ingestion accounting
 // sees exactly the transferred bytes).
-func (r *ParquetRelation) ScanPruned(split connector.Split, columns []string) (exec.Iterator, error) {
-	rd, err := r.reader(split.Object, split.ObjectSize)
+func (r *ParquetRelation) ScanPruned(ctx context.Context, split connector.Split, columns []string) (exec.Iterator, error) {
+	rd, err := r.reader(ctx, split.Object, split.ObjectSize)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := rd.ReadGroup(int(split.Start), columns)
+	rows, err := rd.ReadGroup(ctx, int(split.Start), columns)
 	if err != nil {
 		return nil, err
 	}
@@ -107,9 +108,9 @@ func (r *ParquetRelation) ScanPruned(split connector.Split, columns []string) (e
 
 // ScanPrunedFiltered applies predicates after decoding, at the compute side
 // (Parquet cannot discard rows at the store).
-func (r *ParquetRelation) ScanPrunedFiltered(split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error) {
+func (r *ParquetRelation) ScanPrunedFiltered(ctx context.Context, split connector.Split, columns []string, preds []pushdown.Predicate) (exec.Iterator, error) {
 	if len(preds) == 0 {
-		return r.ScanPruned(split, columns)
+		return r.ScanPruned(ctx, split, columns)
 	}
 	// Read the projected columns plus any predicate-only columns.
 	need := append([]string(nil), columns...)
@@ -123,7 +124,7 @@ func (r *ParquetRelation) ScanPrunedFiltered(split connector.Split, columns []st
 			need = append(need, p.Column)
 		}
 	}
-	it, err := r.ScanPruned(split, need)
+	it, err := r.ScanPruned(ctx, split, need)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +172,7 @@ func (f *filteredIterator) Next() (types.Row, error) {
 // Close implements exec.Iterator.
 func (f *filteredIterator) Close() error { return f.it.Close() }
 
-func (r *ParquetRelation) reader(object string, size int64) (*colstore.Reader, error) {
+func (r *ParquetRelation) reader(ctx context.Context, object string, size int64) (*colstore.Reader, error) {
 	r.mu.Lock()
 	if rd, ok := r.readers[object]; ok {
 		r.mu.Unlock()
@@ -179,7 +180,7 @@ func (r *ParquetRelation) reader(object string, size int64) (*colstore.Reader, e
 	}
 	r.mu.Unlock()
 	fetcher := &connFetcher{conn: r.conn, container: r.container, object: object, size: size}
-	rd, err := colstore.NewReader(fetcher, size)
+	rd, err := colstore.NewReader(ctx, fetcher, size)
 	if err != nil {
 		return nil, fmt.Errorf("datasource: open columnar %s: %w", object, err)
 	}
@@ -198,8 +199,8 @@ type connFetcher struct {
 }
 
 // Fetch implements colstore.RangeFetcher.
-func (c *connFetcher) Fetch(off, size int64) ([]byte, error) {
-	rc, err := c.conn.Open(connector.Split{
+func (c *connFetcher) Fetch(ctx context.Context, off, size int64) ([]byte, error) {
+	rc, err := c.conn.Open(ctx, connector.Split{
 		Account:    c.conn.Account(),
 		Container:  c.container,
 		Object:     c.object,

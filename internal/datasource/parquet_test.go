@@ -1,6 +1,7 @@
 package datasource
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func uploadColumnar(t *testing.T, fx *fixture, object string, groupSize int) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fx.conn.Upload("meters", object, bytes.NewReader(buf.Bytes())); err != nil {
+	if _, err := fx.conn.Upload(context.Background(), "meters", object, bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -46,7 +47,7 @@ func newParquetFixture(t *testing.T, groupSize int) (*fixture, *ParquetRelation)
 	t.Helper()
 	fx := newFixture(t, 0)
 	uploadColumnar(t, fx, "jan.col", groupSize)
-	rel, err := NewParquet(fx.conn, "meters", "jan.col")
+	rel, err := NewParquet(context.Background(), fx.conn, "meters", "jan.col")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestParquetScanAll(t *testing.T) {
 
 func TestParquetRowGroupSplits(t *testing.T) {
 	_, rel := newParquetFixture(t, 2) // 3 rows -> 2 groups
-	splits, err := rel.Splits()
+	splits, err := rel.Splits(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,8 +86,8 @@ func TestParquetRowGroupSplits(t *testing.T) {
 func TestParquetPruning(t *testing.T) {
 	fx, rel := newParquetFixture(t, 0)
 	fx.conn.ResetStats()
-	rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-		return rel.ScanPruned(s, []string{"vid"})
+	rows := allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+		return rel.ScanPruned(context.Background(), s, []string{"vid"})
 	})
 	oneCol := fx.conn.Stats().BytesIngested
 	if len(rows) != 3 || len(rows[0]) != 1 {
@@ -103,16 +104,16 @@ func TestParquetPruning(t *testing.T) {
 func TestParquetComputeSideFilter(t *testing.T) {
 	_, rel := newParquetFixture(t, 0)
 	preds := []pushdown.Predicate{{Column: "state", Op: pushdown.OpEq, Value: "FRA"}}
-	rows := allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-		return rel.ScanPrunedFiltered(s, []string{"vid"}, preds)
+	rows := allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+		return rel.ScanPrunedFiltered(context.Background(), s, []string{"vid"}, preds)
 	})
 	if len(rows) != 1 || rows[0][0].S != "V2" || len(rows[0]) != 1 {
 		t.Fatalf("rows = %v", rows)
 	}
 	// Numeric predicate on decoded values.
 	preds = []pushdown.Predicate{{Column: "index", Op: pushdown.OpGt, Value: "6", Numeric: true}}
-	rows = allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-		return rel.ScanPrunedFiltered(s, []string{"vid", "index"}, preds)
+	rows = allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+		return rel.ScanPrunedFiltered(context.Background(), s, []string{"vid", "index"}, preds)
 	})
 	if len(rows) != 1 || rows[0][0].S != "V1" {
 		t.Fatalf("rows = %v", rows)
@@ -123,14 +124,14 @@ func TestParquetRowSelectivityDoesNotReduceTransfer(t *testing.T) {
 	fx, rel := newParquetFixture(t, 0)
 	cols := []string{"vid", "state"}
 	fx.conn.ResetStats()
-	_ = allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-		return rel.ScanPrunedFiltered(s, cols, nil)
+	_ = allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+		return rel.ScanPrunedFiltered(context.Background(), s, cols, nil)
 	})
 	noFilter := fx.conn.Stats().BytesIngested
 	fx.conn.ResetStats()
 	preds := []pushdown.Predicate{{Column: "state", Op: pushdown.OpEq, Value: "FRA"}}
-	_ = allRows(t, rel, func(s connector.Split) (exec.Iterator, error) {
-		return rel.ScanPrunedFiltered(s, cols, preds)
+	_ = allRows(t, rel, func(ctx context.Context, s connector.Split) (exec.Iterator, error) {
+		return rel.ScanPrunedFiltered(context.Background(), s, cols, preds)
 	})
 	withFilter := fx.conn.Stats().BytesIngested
 	if withFilter != noFilter {
@@ -140,11 +141,11 @@ func TestParquetRowSelectivityDoesNotReduceTransfer(t *testing.T) {
 
 func TestParquetMissingDataset(t *testing.T) {
 	fx := newFixture(t, 0)
-	if _, err := NewParquet(fx.conn, "meters", "nonexistent"); err == nil {
+	if _, err := NewParquet(context.Background(), fx.conn, "meters", "nonexistent"); err == nil {
 		t.Error("missing dataset accepted")
 	}
 	// A non-columnar object fails to open.
-	if _, err := NewParquet(fx.conn, "meters", "jan.csv"); err == nil {
+	if _, err := NewParquet(context.Background(), fx.conn, "meters", "jan.csv"); err == nil {
 		t.Error("CSV object accepted as columnar")
 	}
 }

@@ -13,6 +13,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -90,7 +91,8 @@ func NewEnv(sc Scale) (*Env, error) {
 	if !sc.Start.IsZero() {
 		gen.Start = sc.Start
 	}
-	size, err := s.UploadMeterDataset("meters", gen, sc.Objects)
+	// Experiments are offline batch runs with no caller deadline.
+	size, err := s.UploadMeterDataset(context.Background(), "meters", gen, sc.Objects)
 	if err != nil {
 		return nil, err
 	}

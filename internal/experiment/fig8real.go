@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -26,7 +27,7 @@ func fig8Real(w io.Writer, env *Env) error {
 	if err != nil {
 		return err
 	}
-	colRel, err := datasource.NewParquet(conn, "colmeters", "")
+	colRel, err := datasource.NewParquet(context.Background(), conn, "colmeters", "")
 	if err != nil {
 		return err
 	}
@@ -57,14 +58,15 @@ func fig8Real(w io.Writer, env *Env) error {
 // drainRelation scans every split with the projection and returns the bytes
 // ingested and rows seen.
 func drainRelation(conn *connector.Connector, rel datasource.PrunedScanner, cols []string) (int64, int64, error) {
+	ctx := context.Background() // batch harness, no caller deadline
 	conn.ResetStats()
-	splits, err := rel.Splits()
+	splits, err := rel.Splits(ctx)
 	if err != nil {
 		return 0, 0, err
 	}
 	var rows int64
 	for _, split := range splits {
-		it, err := rel.ScanPruned(split, cols)
+		it, err := rel.ScanPruned(ctx, split, cols)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -87,11 +89,12 @@ func drainRelation(conn *connector.Connector, rel datasource.PrunedScanner, cols
 // uploadColumnarDataset regenerates the env's dataset rows into one
 // columnar object under the "colmeters" container.
 func uploadColumnarDataset(env *Env) error {
+	ctx := context.Background() // batch harness, no caller deadline
 	client := env.Scoop.Client()
 	account := env.Scoop.Account()
-	if err := client.CreateContainer(account, "colmeters", nil); err != nil {
+	if err := client.CreateContainer(ctx, account, "colmeters", nil); err != nil {
 		// A prior call may have created it.
-		if list, lerr := client.ListObjects(account, "colmeters", ""); lerr == nil && len(list) > 0 {
+		if list, lerr := client.ListObjects(ctx, account, "colmeters", ""); lerr == nil && len(list) > 0 {
 			return nil
 		}
 	}
@@ -121,6 +124,6 @@ func uploadColumnarDataset(env *Env) error {
 	if err := cw.Close(); err != nil {
 		return err
 	}
-	_, err = client.PutObject(account, "colmeters", "data.col", bytes.NewReader(buf.Bytes()), nil)
+	_, err = client.PutObject(ctx, account, "colmeters", "data.col", bytes.NewReader(buf.Bytes()), nil)
 	return err
 }

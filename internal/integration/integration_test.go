@@ -5,6 +5,7 @@
 package integration
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
@@ -59,7 +60,7 @@ func uploadDataset(t *testing.T, s *core.Scoop) (meter.Config, int64) {
 	gen.Meters = 40
 	gen.Days = 4
 	gen.Interval = time.Hour
-	size, err := s.UploadMeterDataset("meters", gen, 3)
+	size, err := s.UploadMeterDataset(context.Background(), "meters", gen, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestRandomizedModeEquivalence(t *testing.T) {
 	gen.Meters = 30
 	gen.Days = 3
 	gen.Interval = time.Hour
-	if _, err := s.UploadMeterDataset("meters", gen, 3); err != nil {
+	if _, err := s.UploadMeterDataset(context.Background(), "meters", gen, 3); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.RegisterTable("m", "meters", "", meter.SchemaDecl, datasource.CSVOptions{}); err != nil {
@@ -244,7 +245,7 @@ func TestCompressedTransferEndToEnd(t *testing.T) {
 	gen.Meters = 40
 	gen.Days = 3
 	gen.Interval = time.Hour
-	size, err := s.UploadMeterDataset("meters", gen, 2)
+	size, err := s.UploadMeterDataset(context.Background(), "meters", gen, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

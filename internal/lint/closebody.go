@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCloseBody reports *http.Response values whose Body is never closed
+// and never handed off. Scoop's client-side stack (connector, admin tooling,
+// proxy fan-out) keeps long-lived connections to the store; every unclosed
+// body pins a connection and eventually starves the pool under the paper's
+// ingestion workloads.
+//
+// A response counts as handled when the function closes resp.Body on some
+// path, passes resp or resp.Body to another function (e.g. a drain helper),
+// returns it, or stores it somewhere that outlives the call.
+var AnalyzerCloseBody = &Analyzer{
+	Name: "closebody",
+	Doc:  "HTTP response bodies must be closed (or handed off) on all paths",
+	Run:  runCloseBody,
+}
+
+func runCloseBody(pass *Pass) {
+	for _, file := range pass.Files {
+		funcBodies(file, func(_ ast.Node, body *ast.BlockStmt) {
+			checkCloseBody(pass, body)
+		})
+	}
+}
+
+func checkCloseBody(pass *Pass, body *ast.BlockStmt) {
+	// Collect variables assigned from calls that return *http.Response.
+	type candidate struct {
+		obj types.Object
+		pos ast.Expr // the assigned identifier, for reporting
+	}
+	var candidates []candidate
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions are scanned separately
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i, t := range resultTypes(pass.Info, call) {
+			if !namedType(t, "net/http", "Response") {
+				continue
+			}
+			if i >= len(assign.Lhs) {
+				break
+			}
+			obj := identObj(pass.Info, assign.Lhs[i])
+			if obj == nil || obj.Name() == "_" {
+				continue
+			}
+			candidates = append(candidates, candidate{obj, assign.Lhs[i]})
+		}
+		return true
+	})
+
+	for _, c := range candidates {
+		if respHandled(pass, body, c.obj) {
+			continue
+		}
+		pass.Reportf(c.pos.Pos(), "response body of %q is never closed; close it (or hand the response off) on every path", c.obj.Name())
+	}
+}
+
+// resultTypes returns the result types of a call expression.
+func resultTypes(info *types.Info, call *ast.CallExpr) []types.Type {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := 0; i < tuple.Len(); i++ {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{tv.Type}
+}
+
+// respHandled reports whether the response held in obj is closed or escapes
+// the function (passed on, returned, or stored).
+func respHandled(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	handled := false
+	walkParents(body, func(n ast.Node, parents []ast.Node) bool {
+		if handled {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		// Walk up: resp | resp.Body | resp.Body.Close — classify the use.
+		node := ast.Node(id)
+		for i := len(parents) - 1; i >= 0; i-- {
+			parent := parents[i]
+			if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == node {
+				if sel.Sel.Name == "Close" {
+					handled = true // resp.Body.Close(), possibly deferred
+					return false
+				}
+				if sel.Sel.Name != "Body" {
+					return true // resp.StatusCode etc. — neither closes nor escapes
+				}
+				node = parent
+				continue
+			}
+			if escapesVia(parent, node) {
+				handled = true
+				return false
+			}
+			return true
+		}
+		return true
+	})
+	return handled
+}
+
+// escapesVia reports whether child, appearing directly under parent, leaves
+// the function's control: passed as a call argument, returned, assigned,
+// stored in a composite, sent on a channel, or address-taken.
+func escapesVia(parent, child ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if arg == child {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if rhs == child {
+				return true
+			}
+		}
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return true
+	case *ast.UnaryExpr:
+		return p.Op.String() == "&"
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreKey identifies a line covered by a //lint:ignore directive for one
+// analyzer (or all analyzers via "*").
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// filterIgnored drops diagnostics whose position is covered by a valid
+// `//lint:ignore <analyzer> <reason>` directive in pkg's files. A directive
+// covers its own line and the line directly below it, so both end-of-line
+// comments and a comment line above the offending statement work. Directives
+// without a reason are ignored (the justification is the point).
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := map[ignoreKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: directive is invalid
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					ignored[ignoreKey{pos.Filename, line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, "*"}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

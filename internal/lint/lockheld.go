@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerLockHeld reports mutexes held across blocking operations: channel
+// sends/receives, selects without a default, and well-known blocking calls
+// (HTTP round-trips, dials, sleeps, WaitGroup.Wait, subprocess waits). The
+// proxy, cluster, and metrics packages guard hot request-path state with
+// mutexes; holding one across a network round-trip serialises every request
+// behind the slowest peer and can deadlock the GET/PUT pipeline.
+var AnalyzerLockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "mutexes must not be held across blocking I/O or channel operations",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pass *Pass) {
+	for _, file := range pass.Files {
+		funcBodies(file, func(_ ast.Node, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok && n != body {
+					return false
+				}
+				if list := stmtList(n); list != nil {
+					checkLockRegions(pass, list)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// stmtList extracts the statement list of block-like nodes.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+// checkLockRegions scans one statement list for Lock() calls and walks the
+// statements executed while the lock is held.
+func checkLockRegions(pass *Pass, list []ast.Stmt) {
+	for i, stmt := range list {
+		recv, ok := lockCall(pass.Info, stmt, "Lock", "RLock")
+		if !ok {
+			continue
+		}
+		// The held region runs from the statement after the Lock to the
+		// matching Unlock at this nesting level — or to the end of the list
+		// when the unlock is deferred or absent.
+		end := len(list)
+		for j := i + 1; j < len(list); j++ {
+			if _, isDefer := list[j].(*ast.DeferStmt); isDefer {
+				continue // a deferred Unlock releases at return, not here
+			}
+			if r, ok := lockCall(pass.Info, list[j], "Unlock", "RUnlock"); ok && r == recv {
+				end = j
+				break
+			}
+		}
+		for _, held := range list[i+1 : end] {
+			if _, isDefer := held.(*ast.DeferStmt); isDefer {
+				continue // runs after the function returns, not under this region's scan
+			}
+			reportBlockingOps(pass, held, recv)
+		}
+	}
+}
+
+// lockCall reports whether stmt is a plain or deferred call to one of the
+// named sync methods, returning the receiver expression rendered as a string
+// so Lock/Unlock pairs on the same mutex can be matched.
+func lockCall(info *types.Info, stmt ast.Stmt, names ...string) (string, bool) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return types.ExprString(sel.X), true
+		}
+	}
+	return "", false
+}
+
+// reportBlockingOps walks one held statement and reports blocking operations.
+// Function literals are skipped: their bodies run outside the lock region
+// (goroutines, callbacks) or are themselves analyzed when invoked.
+func reportBlockingOps(pass *Pass, stmt ast.Stmt, recv string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch op := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(op.Pos(), "%s held across channel send", recv)
+		case *ast.UnaryExpr:
+			if op.Op.String() == "<-" {
+				pass.Reportf(op.Pos(), "%s held across channel receive", recv)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[op.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(op.Pos(), "%s held across range over channel", recv)
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range op.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pass.Reportf(op.Pos(), "%s held across blocking select", recv)
+			}
+			// The comm clauses are non-blocking (default present) or already
+			// covered by the select report; scan only the case bodies.
+			for _, c := range op.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						reportBlockingOps(pass, s, recv)
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if fn := staticCallee(pass.Info, op); fn != nil && isBlockingFunc(fn) {
+				pass.Reportf(op.Pos(), "%s held across blocking call %s", recv, fn.FullName())
+			}
+		}
+		return true
+	})
+}
+
+// isBlockingFunc reports whether fn is a well-known blocking std-library
+// function: network round-trips, dials/accepts, sleeps, and waits.
+func isBlockingFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "net/http":
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return true
+		}
+	case "net":
+		switch fn.Name() {
+		case "Dial", "DialTimeout", "DialTCP", "DialUDP", "DialIP", "DialUnix", "Listen", "Accept":
+			return true
+		}
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		return fn.Name() == "Wait" // (*WaitGroup).Wait, (*Cond).Wait
+	case "os/exec":
+		switch fn.Name() {
+		case "Run", "Wait", "Output", "CombinedOutput":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+// Package chanleak holds known-good and known-bad fan-out shapes for the
+// chanleak analyzer.
+package chanleak
+
+import "context"
+
+func badAbandonableSender(ctx context.Context, work func() string) (string, error) {
+	ch := make(chan string)
+	go func() {
+		ch <- work() // want:chanleak goroutine sends on unbuffered channel "ch"
+	}()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+func badAbandonableBareReceive(ctx context.Context, work func() string) error {
+	done := make(chan string, 0)
+	go func() {
+		done <- work() // want:chanleak goroutine sends on unbuffered channel "done"
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func goodBuffered(ctx context.Context, work func() string) (string, error) {
+	ch := make(chan string, 1)
+	go func() {
+		ch <- work() // buffered: the send completes even if abandoned
+	}()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+func goodAlwaysReceived(work func() string) string {
+	ch := make(chan string)
+	go func() {
+		ch <- work() // plain receive below: never abandoned
+	}()
+	return <-ch
+}
+
+func goodSenderSelectsOnCancel(ctx context.Context, work func() string) (string, error) {
+	ch := make(chan string)
+	go func() {
+		select {
+		case ch <- work():
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}

@@ -1,0 +1,78 @@
+// Package closebody holds known-good and known-bad HTTP response handling
+// shapes for the closebody analyzer.
+package closebody
+
+import (
+	"io"
+	"net/http"
+)
+
+func bad(url string) (int, error) {
+	resp, err := http.Get(url) // want:closebody response body of "resp" is never closed
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func badCustomClient(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req) // want:closebody response body of "resp" is never closed
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return io.EOF
+	}
+	return nil
+}
+
+func goodDeferClose(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func goodHandoff(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	drain(resp.Body)
+	return nil
+}
+
+func goodWholeResponseHandoff(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return consume(resp)
+}
+
+func goodReturned(url string) (io.ReadCloser, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+func goodIgnoredResponse(url string) {
+	// The response variable is blank: nothing to track (go vet owns this).
+	_, _ = http.Get(url)
+}
+
+func drain(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, rc)
+	rc.Close()
+}
+
+func consume(resp *http.Response) error {
+	defer resp.Body.Close()
+	_, err := io.Copy(io.Discard, resp.Body)
+	return err
+}

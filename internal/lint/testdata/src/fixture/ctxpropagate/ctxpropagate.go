@@ -1,0 +1,67 @@
+// Package ctxpropagate holds known-good and known-bad I/O entry points for
+// the ctxpropagate analyzer.
+package ctxpropagate
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+)
+
+func FetchBad(url string) error { // want:ctxpropagate exported FetchBad performs I/O
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func ReadBad(path string) ([]byte, error) { // want:ctxpropagate exported ReadBad performs I/O
+	return os.ReadFile(path)
+}
+
+type Store struct{ dir string }
+
+func (s *Store) PutBad(name string, data []byte) error { // want:ctxpropagate exported PutBad performs I/O
+	return os.WriteFile(s.dir+"/"+name, data, 0o644)
+}
+
+func FetchGood(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func ReadGood(ctx context.Context, path string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+func readUnexported(path string) ([]byte, error) {
+	// Unexported helpers are the callee side; their exported callers carry
+	// the context.
+	return os.ReadFile(path)
+}
+
+func PureGood(a, b int) int {
+	return a + b
+}
+
+// CopyGood does I/O only through interfaces handed to it; attribution belongs
+// to whoever opened the endpoints.
+func CopyGood(dst io.Writer, src io.Reader) (int64, error) {
+	return io.Copy(dst, src)
+}

@@ -1,0 +1,56 @@
+// Package errwrap holds known-good and known-bad fmt.Errorf call shapes for
+// the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func bad(err error) error {
+	return fmt.Errorf("open failed: %v", err) // want:errwrap error formatted with %v
+}
+
+func badString(err error) error {
+	return fmt.Errorf("attempt %d failed: %s", 3, err) // want:errwrap error formatted with %s
+}
+
+func badIndexed(err error) error {
+	return fmt.Errorf("code %[2]d: %[1]v", err, 3) // want:errwrap error formatted with %v
+}
+
+func badStarWidth(err error) error {
+	return fmt.Errorf("%*d: %v", 8, 42, err) // want:errwrap error formatted with %v
+}
+
+func badCustomError() error {
+	return fmt.Errorf("wrapped: %v", errSentinel) // want:errwrap error formatted with %v
+}
+
+func good(err error) error {
+	return fmt.Errorf("open failed: %w", err)
+}
+
+func goodStringified(err error) error {
+	return fmt.Errorf("boundary: %s", err.Error())
+}
+
+func goodNoError(name string) error {
+	return fmt.Errorf("no such object %q in %s", name, "container")
+}
+
+func goodPercentLiteral(pct int, err error) error {
+	return fmt.Errorf("%d%% done: %w", pct, err)
+}
+
+func ignoredWithReason(err error) error {
+	//lint:ignore errwrap boundary error is intentionally opaque to callers
+	return fmt.Errorf("redacted: %v", err)
+}
+
+func ignoreNeedsReason(err error) error {
+	//lint:ignore errwrap
+	return fmt.Errorf("still flagged: %v", err) // want:errwrap error formatted with %v
+}

@@ -1,0 +1,91 @@
+// Package lockheld holds known-good and known-bad locking shapes for the
+// lockheld analyzer.
+package lockheld
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type cache struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]string
+	ch    chan string
+}
+
+func (c *cache) badHTTPUnderLock(url string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := http.Get(url) // want:lockheld c.mu held across blocking call net/http.Get
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func (c *cache) badSendUnderLock(v string) {
+	c.mu.Lock()
+	c.ch <- v // want:lockheld c.mu held across channel send
+	c.mu.Unlock()
+}
+
+func (c *cache) badReceiveUnderRLock() string {
+	c.rw.RLock()
+	v := <-c.ch // want:lockheld c.rw held across channel receive
+	c.rw.RUnlock()
+	return v
+}
+
+func (c *cache) badSleepUnderLock() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want:lockheld c.mu held across blocking call time.Sleep
+	c.mu.Unlock()
+}
+
+func (c *cache) badSelectUnderLock() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want:lockheld c.mu held across blocking select
+	case v := <-c.ch:
+		return v
+	case <-time.After(time.Millisecond):
+		return ""
+	}
+}
+
+func (c *cache) goodUnlockBeforeSend(v string) {
+	c.mu.Lock()
+	c.items["last"] = v
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+func (c *cache) goodLookup(k string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[k]
+}
+
+func (c *cache) goodNonBlockingSelect(v string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.ch <- v: // part of a select with default: never blocks
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *cache) goodSendFromSpawnedGoroutine(v string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.ch <- v // runs outside the lock region
+	}()
+}

@@ -88,7 +88,7 @@ func (h *AdminHandler) serveDeploy(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "account query parameter required", http.StatusBadRequest)
 		return
 	}
-	n, err := DeployStorlets(h.cluster.Client(), account, h.cluster.Engine())
+	n, err := DeployStorlets(r.Context(), h.cluster.Client(), account, h.cluster.Engine())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -21,9 +22,9 @@ func TestAdminStats(t *testing.T) {
 	c, srv := newAdminServer(t)
 	// Generate some traffic first.
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +66,10 @@ func TestAdminStats(t *testing.T) {
 func TestAdminDeploy(t *testing.T) {
 	c, srv := newAdminServer(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", StorletContainer, nil)
+	_ = cl.CreateContainer(context.Background(), "gp", StorletContainer, nil)
 	manifest := `{"name": "vid-only", "type": "pipeline", "chain": [
 		{"filter": "csv", "schema": "` + meterSchema + `", "columns": ["vid"]}]}`
-	if _, err := cl.PutObject("gp", StorletContainer, "m.json", strings.NewReader(manifest), nil); err != nil {
+	if _, err := cl.PutObject(context.Background(), "gp", StorletContainer, "m.json", strings.NewReader(manifest), nil); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Post(srv.URL+"/admin/deploy?account=gp", "", nil)
@@ -105,7 +106,7 @@ func TestAdminDeploy(t *testing.T) {
 		t.Errorf("unknown endpoint = %d", r4.StatusCode)
 	}
 	// Broken manifest surfaces an error.
-	if _, err := cl.PutObject("gp", StorletContainer, "bad.json", strings.NewReader("junk"), nil); err != nil {
+	if _, err := cl.PutObject(context.Background(), "gp", StorletContainer, "bad.json", strings.NewReader("junk"), nil); err != nil {
 		t.Fatal(err)
 	}
 	r5, _ := http.Post(srv.URL+"/admin/deploy?account=gp", "", nil)

@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -75,7 +76,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		name := fmt.Sprintf("object-%02d", i)
 		var node *Node
 		if cfg.DataDir != "" {
-			store, err := NewDiskStore(filepath.Join(cfg.DataDir, name))
+			// Cluster construction is a startup step, not a request; the
+			// index rebuild runs unbounded.
+			store, err := NewDiskStore(context.Background(), filepath.Join(cfg.DataDir, name))
 			if err != nil {
 				return nil, err
 			}
@@ -172,40 +175,40 @@ func (l *lbClient) pick() *Proxy {
 	return l.c.proxies[int(i)%len(l.c.proxies)]
 }
 
-func (l *lbClient) CreateContainer(account, container string, policy *ContainerPolicy) error {
-	return l.pick().CreateContainer(account, container, policy)
+func (l *lbClient) CreateContainer(ctx context.Context, account, container string, policy *ContainerPolicy) error {
+	return l.pick().CreateContainer(ctx, account, container, policy)
 }
 
-func (l *lbClient) PutObject(account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
-	return l.pick().PutObject(account, container, object, r, meta)
+func (l *lbClient) PutObject(ctx context.Context, account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
+	return l.pick().PutObject(ctx, account, container, object, r, meta)
 }
 
-func (l *lbClient) GetObject(account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
-	rc, info, err := l.pick().GetObject(account, container, object, opts)
+func (l *lbClient) GetObject(ctx context.Context, account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
+	rc, info, err := l.pick().GetObject(ctx, account, container, object, opts)
 	if err != nil {
 		return nil, info, err
 	}
 	return &lbCounted{rc: rc, c: l.c}, info, nil
 }
 
-func (l *lbClient) HeadObject(account, container, object string) (ObjectInfo, error) {
-	return l.pick().HeadObject(account, container, object)
+func (l *lbClient) HeadObject(ctx context.Context, account, container, object string) (ObjectInfo, error) {
+	return l.pick().HeadObject(ctx, account, container, object)
 }
 
-func (l *lbClient) DeleteObject(account, container, object string) error {
-	return l.pick().DeleteObject(account, container, object)
+func (l *lbClient) DeleteObject(ctx context.Context, account, container, object string) error {
+	return l.pick().DeleteObject(ctx, account, container, object)
 }
 
-func (l *lbClient) ListObjects(account, container, prefix string) ([]ObjectInfo, error) {
-	return l.pick().ListObjects(account, container, prefix)
+func (l *lbClient) ListObjects(ctx context.Context, account, container, prefix string) ([]ObjectInfo, error) {
+	return l.pick().ListObjects(ctx, account, container, prefix)
 }
 
-func (l *lbClient) ListContainers(account string) ([]string, error) {
-	return l.pick().ListContainers(account)
+func (l *lbClient) ListContainers(ctx context.Context, account string) ([]string, error) {
+	return l.pick().ListContainers(ctx, account)
 }
 
-func (l *lbClient) DeleteContainer(account, container string) error {
-	return l.pick().DeleteContainer(account, container)
+func (l *lbClient) DeleteContainer(ctx context.Context, account, container string) error {
+	return l.pick().DeleteContainer(ctx, account, container)
 }
 
 type lbCounted struct {

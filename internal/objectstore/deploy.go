@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -17,8 +18,8 @@ const StorletContainer = ".storlets"
 // container and deploys it into the engine. Manifests whose filter name is
 // already deployed are skipped (idempotent redeploy). It returns the number
 // of newly deployed filters.
-func DeployStorlets(client Client, account string, engine *storlet.Engine) (int, error) {
-	list, err := client.ListObjects(account, StorletContainer, "")
+func DeployStorlets(ctx context.Context, client Client, account string, engine *storlet.Engine) (int, error) {
+	list, err := client.ListObjects(ctx, account, StorletContainer, "")
 	if err != nil {
 		if IsNotFound(err) {
 			return 0, nil // no manifests for this account
@@ -27,7 +28,7 @@ func DeployStorlets(client Client, account string, engine *storlet.Engine) (int,
 	}
 	deployed := 0
 	for _, obj := range list {
-		rc, _, err := client.GetObject(account, StorletContainer, obj.Name, GetOptions{})
+		rc, _, err := client.GetObject(ctx, account, StorletContainer, obj.Name, GetOptions{})
 		if err != nil {
 			return deployed, fmt.Errorf("deploy %s: %w", obj.Name, err)
 		}

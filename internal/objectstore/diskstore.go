@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"crypto/md5"
 	"encoding/hex"
 	"encoding/json"
@@ -15,19 +16,21 @@ import (
 )
 
 // Store is the storage engine of one object server. MemStore (tests,
-// benchmarks) and DiskStore (scoopd persistence) implement it.
+// benchmarks) and DiskStore (scoopd persistence) implement it. Data
+// operations take a context so cancelled requests stop hitting the disk;
+// Bytes is a pure counter read and stays context-free.
 type Store interface {
 	// Put stores the full object read from r, returning completed metadata.
-	Put(info ObjectInfo, r io.Reader) (ObjectInfo, error)
+	Put(ctx context.Context, info ObjectInfo, r io.Reader) (ObjectInfo, error)
 	// Get returns a reader over bytes [start, end) of the object; end <= 0
 	// means the object's end.
-	Get(path string, start, end int64) (io.ReadCloser, ObjectInfo, error)
+	Get(ctx context.Context, path string, start, end int64) (io.ReadCloser, ObjectInfo, error)
 	// Head returns object metadata.
-	Head(path string) (ObjectInfo, error)
+	Head(ctx context.Context, path string) (ObjectInfo, error)
 	// Delete removes the object (idempotent).
-	Delete(path string)
+	Delete(ctx context.Context, path string)
 	// List returns stored objects whose path starts with prefix, sorted.
-	List(prefix string) []ObjectInfo
+	List(ctx context.Context, prefix string) []ObjectInfo
 	// Bytes returns total stored payload bytes.
 	Bytes() int64
 }
@@ -50,8 +53,9 @@ type DiskStore struct {
 }
 
 // NewDiskStore opens (creating if needed) a disk-backed store rooted at
-// dir, and rebuilds its index from the sidecar files found there.
-func NewDiskStore(dir string) (*DiskStore, error) {
+// dir, and rebuilds its index from the sidecar files found there. The
+// context bounds the index rebuild, which scans one sidecar per object.
+func NewDiskStore(ctx context.Context, dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
@@ -61,6 +65,9 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 		return nil, fmt.Errorf("diskstore: %w", err)
 	}
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diskstore: index rebuild: %w", err)
+		}
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".meta") {
 			continue
 		}
@@ -92,8 +99,11 @@ func (s *DiskStore) metaFile(path string) string {
 }
 
 // Put implements Store.
-func (s *DiskStore) Put(info ObjectInfo, r io.Reader) (ObjectInfo, error) {
+func (s *DiskStore) Put(ctx context.Context, info ObjectInfo, r io.Reader) (ObjectInfo, error) {
 	path := info.Path()
+	if err := ctx.Err(); err != nil {
+		return ObjectInfo{}, fmt.Errorf("diskstore: put %s: %w", path, err)
+	}
 	tmp, err := os.CreateTemp(s.root, "put-*")
 	if err != nil {
 		return ObjectInfo{}, fmt.Errorf("diskstore: put %s: %w", path, err)
@@ -130,7 +140,10 @@ func (s *DiskStore) Put(info ObjectInfo, r io.Reader) (ObjectInfo, error) {
 }
 
 // Get implements Store.
-func (s *DiskStore) Get(path string, start, end int64) (io.ReadCloser, ObjectInfo, error) {
+func (s *DiskStore) Get(ctx context.Context, path string, start, end int64) (io.ReadCloser, ObjectInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ObjectInfo{}, fmt.Errorf("diskstore: get %s: %w", path, err)
+	}
 	s.mu.RLock()
 	info, ok := s.index[path]
 	s.mu.RUnlock()
@@ -163,7 +176,7 @@ func (s *sectionCloser) Read(p []byte) (int, error) { return s.r.Read(p) }
 func (s *sectionCloser) Close() error               { return s.f.Close() }
 
 // Head implements Store.
-func (s *DiskStore) Head(path string) (ObjectInfo, error) {
+func (s *DiskStore) Head(_ context.Context, path string) (ObjectInfo, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	info, ok := s.index[path]
@@ -174,7 +187,7 @@ func (s *DiskStore) Head(path string) (ObjectInfo, error) {
 }
 
 // Delete implements Store.
-func (s *DiskStore) Delete(path string) {
+func (s *DiskStore) Delete(_ context.Context, path string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.index, path)
@@ -183,7 +196,7 @@ func (s *DiskStore) Delete(path string) {
 }
 
 // List implements Store.
-func (s *DiskStore) List(prefix string) []ObjectInfo {
+func (s *DiskStore) List(_ context.Context, prefix string) []ObjectInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []ObjectInfo

@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func newDiskStore(t *testing.T) *DiskStore {
 	t.Helper()
-	s, err := NewDiskStore(t.TempDir())
+	s, err := NewDiskStore(context.Background(), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +22,7 @@ func newDiskStore(t *testing.T) *DiskStore {
 
 func TestDiskStorePutGetRoundTrip(t *testing.T) {
 	s := newDiskStore(t)
-	info, err := s.Put(ObjectInfo{Account: "a", Container: "c", Name: "o.csv",
+	info, err := s.Put(context.Background(), ObjectInfo{Account: "a", Container: "c", Name: "o.csv",
 		Meta: map[string]string{"k": "v"}}, strings.NewReader("hello world"))
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +30,7 @@ func TestDiskStorePutGetRoundTrip(t *testing.T) {
 	if info.Size != 11 || info.ETag == "" {
 		t.Fatalf("info = %+v", info)
 	}
-	rc, got, err := s.Get("/a/c/o.csv", 0, 0)
+	rc, got, err := s.Get(context.Background(), "/a/c/o.csv", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,11 +46,11 @@ func TestDiskStorePutGetRoundTrip(t *testing.T) {
 
 func TestDiskStoreRange(t *testing.T) {
 	s := newDiskStore(t)
-	_, err := s.Put(ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("0123456789"))
+	_, err := s.Put(context.Background(), ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("0123456789"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc, _, err := s.Get("/a/c/o", 2, 6)
+	rc, _, err := s.Get(context.Background(), "/a/c/o", 2, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,10 +59,10 @@ func TestDiskStoreRange(t *testing.T) {
 	if string(b) != "2345" {
 		t.Errorf("range = %q", b)
 	}
-	if _, _, err := s.Get("/a/c/o", 20, 0); !errors.Is(err, ErrBadRange) {
+	if _, _, err := s.Get(context.Background(), "/a/c/o", 20, 0); !errors.Is(err, ErrBadRange) {
 		t.Errorf("bad range: %v", err)
 	}
-	if _, _, err := s.Get("/a/c/ghost", 0, 0); !errors.Is(err, ErrNotFound) {
+	if _, _, err := s.Get(context.Background(), "/a/c/ghost", 0, 0); !errors.Is(err, ErrNotFound) {
 		t.Errorf("missing: %v", err)
 	}
 }
@@ -69,47 +70,47 @@ func TestDiskStoreRange(t *testing.T) {
 func TestDiskStoreDeleteAndList(t *testing.T) {
 	s := newDiskStore(t)
 	for _, name := range []string{"a.csv", "b.csv", "sub.txt"} {
-		if _, err := s.Put(ObjectInfo{Account: "x", Container: "c", Name: name}, strings.NewReader("data")); err != nil {
+		if _, err := s.Put(context.Background(), ObjectInfo{Account: "x", Container: "c", Name: name}, strings.NewReader("data")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	list := s.List("/x/c/")
+	list := s.List(context.Background(), "/x/c/")
 	if len(list) != 3 || list[0].Name != "a.csv" {
 		t.Fatalf("list = %v", list)
 	}
-	s.Delete("/x/c/a.csv")
-	s.Delete("/x/c/a.csv") // idempotent
-	if _, err := s.Head("/x/c/a.csv"); !errors.Is(err, ErrNotFound) {
+	s.Delete(context.Background(), "/x/c/a.csv")
+	s.Delete(context.Background(), "/x/c/a.csv") // idempotent
+	if _, err := s.Head(context.Background(), "/x/c/a.csv"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("head after delete: %v", err)
 	}
-	if len(s.List("/x/c/")) != 2 {
+	if len(s.List(context.Background(), "/x/c/")) != 2 {
 		t.Error("list after delete")
 	}
 }
 
 func TestDiskStorePersistenceAcrossReopen(t *testing.T) {
 	dir := t.TempDir()
-	s, err := NewDiskStore(dir)
+	s, err := NewDiskStore(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := s.Put(ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("persisted"))
+	want, err := s.Put(context.Background(), ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("persisted"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Reopen from the same directory: the index rebuilds from sidecars.
-	s2, err := NewDiskStore(dir)
+	s2, err := NewDiskStore(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s2.Head("/a/c/o")
+	got, err := s2.Head(context.Background(), "/a/c/o")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.ETag != want.ETag || got.Size != want.Size {
 		t.Errorf("reopened info = %+v, want %+v", got, want)
 	}
-	rc, _, err := s2.Get("/a/c/o", 0, 0)
+	rc, _, err := s2.Get(context.Background(), "/a/c/o", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,13 +123,13 @@ func TestDiskStorePersistenceAcrossReopen(t *testing.T) {
 
 func TestDiskStoreOverwrite(t *testing.T) {
 	s := newDiskStore(t)
-	if _, err := s.Put(ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("v1")); err != nil {
+	if _, err := s.Put(context.Background(), ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Put(ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("version2")); err != nil {
+	if _, err := s.Put(context.Background(), ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("version2")); err != nil {
 		t.Fatal(err)
 	}
-	info, err := s.Head("/a/c/o")
+	info, err := s.Head(context.Background(), "/a/c/o")
 	if err != nil || info.Size != 8 {
 		t.Fatalf("info = %+v, %v", info, err)
 	}
@@ -145,14 +146,14 @@ func TestDiskBackedCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := c.Client()
-	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.PutObject("gp", "meters", "jan.csv", strings.NewReader(meterCSV), nil); err != nil {
+	if _, err := cl.PutObject(context.Background(), "gp", "meters", "jan.csv", strings.NewReader(meterCSV), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Plain GET from disk.
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestDiskBackedCluster(t *testing.T) {
 	cut := int64(len(meterCSV) / 2)
 	var rows []string
 	for _, r := range [][2]int64{{0, cut}, {cut, int64(len(meterCSV))}} {
-		rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{
+		rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{
 			RangeStart: r[0], RangeEnd: r[1], Pushdown: []*pushdown.Task{task},
 		})
 		if err != nil {

@@ -69,7 +69,7 @@ func (h *Handler) serveAccount(w http.ResponseWriter, r *http.Request, account s
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	containers, err := h.client.ListContainers(account)
+	containers, err := h.client.ListContainers(r.Context(), account)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -96,7 +96,7 @@ func (h *Handler) serveContainer(w http.ResponseWriter, r *http.Request, account
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		err = h.client.CreateContainer(account, container, policy)
+		err = h.client.CreateContainer(r.Context(), account, container, policy)
 		switch {
 		case errors.Is(err, ErrContainerExists):
 			w.WriteHeader(http.StatusAccepted) // Swift: 202 on re-PUT
@@ -106,7 +106,7 @@ func (h *Handler) serveContainer(w http.ResponseWriter, r *http.Request, account
 			w.WriteHeader(http.StatusCreated)
 		}
 	case http.MethodGet:
-		list, err := h.client.ListObjects(account, container, r.URL.Query().Get("prefix"))
+		list, err := h.client.ListObjects(r.Context(), account, container, r.URL.Query().Get("prefix"))
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -117,7 +117,7 @@ func (h *Handler) serveContainer(w http.ResponseWriter, r *http.Request, account
 			return
 		}
 	case http.MethodDelete:
-		err := h.client.DeleteContainer(account, container)
+		err := h.client.DeleteContainer(r.Context(), account, container)
 		switch {
 		case errors.Is(err, ErrContainerNotEmpty):
 			http.Error(w, err.Error(), http.StatusConflict) // Swift: 409
@@ -137,7 +137,7 @@ func policyFromHeaders(h http.Header) (*ContainerPolicy, error) {
 	if v := h.Get(HeaderDisablePushdown); v != "" {
 		b, err := strconv.ParseBool(v)
 		if err != nil {
-			return nil, fmt.Errorf("bad %s: %v", HeaderDisablePushdown, err)
+			return nil, fmt.Errorf("bad %s: %w", HeaderDisablePushdown, err)
 		}
 		policy.DisablePushdown = b
 		used = true
@@ -145,7 +145,7 @@ func policyFromHeaders(h http.Header) (*ContainerPolicy, error) {
 	if v := h.Get(HeaderPutPipeline); v != "" {
 		chain, err := pushdown.DecodeChain(v)
 		if err != nil {
-			return nil, fmt.Errorf("bad %s: %v", HeaderPutPipeline, err)
+			return nil, fmt.Errorf("bad %s: %w", HeaderPutPipeline, err)
 		}
 		policy.PutPipeline = chain
 		used = true
@@ -160,7 +160,7 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, account, c
 	switch r.Method {
 	case http.MethodPut:
 		meta := metaFromHeaders(r.Header)
-		info, err := h.client.PutObject(account, container, object, r.Body, meta)
+		info, err := h.client.PutObject(r.Context(), account, container, object, r.Body, meta)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -185,7 +185,7 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, account, c
 			}
 			opts.Pushdown = chain
 		}
-		rc, info, err := h.client.GetObject(account, container, object, opts)
+		rc, info, err := h.client.GetObject(r.Context(), account, container, object, opts)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -206,7 +206,7 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, account, c
 			return
 		}
 	case http.MethodHead:
-		info, err := h.client.HeadObject(account, container, object)
+		info, err := h.client.HeadObject(r.Context(), account, container, object)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -216,7 +216,7 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, account, c
 		setMetaHeaders(w.Header(), info.Meta)
 		w.WriteHeader(http.StatusOK)
 	case http.MethodDelete:
-		if err := h.client.DeleteObject(account, container, object); err != nil {
+		if err := h.client.DeleteObject(r.Context(), account, container, object); err != nil {
 			writeErr(w, err)
 			return
 		}

@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -25,10 +26,10 @@ func newHTTPStore(t *testing.T) (*Cluster, *HTTPClient) {
 
 func TestHTTPRoundTrip(t *testing.T) {
 	_, cl := newHTTPStore(t)
-	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); err != nil {
 		t.Fatal(err)
 	}
-	info, err := cl.PutObject("gp", "meters", "jan.csv", strings.NewReader(meterCSV),
+	info, err := cl.PutObject(context.Background(), "gp", "meters", "jan.csv", strings.NewReader(meterCSV),
 		map[string]string{"Source": "generator"})
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +40,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if info.Meta["Source"] != "generator" {
 		t.Errorf("meta = %v", info.Meta)
 	}
-	rc, got, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{})
+	rc, got, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,24 +54,24 @@ func TestHTTPRoundTrip(t *testing.T) {
 
 func TestHTTPContainerSemantics(t *testing.T) {
 	_, cl := newHTTPStore(t)
-	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.CreateContainer("gp", "meters", nil); !errors.Is(err, ErrContainerExists) {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); !errors.Is(err, ErrContainerExists) {
 		t.Errorf("duplicate create: %v", err)
 	}
-	if _, err := cl.PutObject("gp", "ghost", "o", strings.NewReader("x"), nil); !IsNotFound(err) {
+	if _, err := cl.PutObject(context.Background(), "gp", "ghost", "o", strings.NewReader("x"), nil); !IsNotFound(err) {
 		t.Errorf("put to missing container: %v", err)
 	}
 }
 
 func TestHTTPRange(t *testing.T) {
 	_, cl := newHTTPStore(t)
-	_ = cl.CreateContainer("gp", "meters", nil)
-	if _, err := cl.PutObject("gp", "meters", "jan.csv", strings.NewReader(meterCSV), nil); err != nil {
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
+	if _, err := cl.PutObject(context.Background(), "gp", "meters", "jan.csv", strings.NewReader(meterCSV), nil); err != nil {
 		t.Fatal(err)
 	}
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{RangeStart: 3, RangeEnd: 10})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{RangeStart: 3, RangeEnd: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,22 +79,22 @@ func TestHTTPRange(t *testing.T) {
 		t.Errorf("range = %q", got)
 	}
 	// Open-ended range.
-	rc, _, err = cl.GetObject("gp", "meters", "jan.csv", GetOptions{RangeStart: 5})
+	rc, _, err = cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{RangeStart: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := readAll(t, rc); got != meterCSV[5:] {
 		t.Errorf("open range = %q", got)
 	}
-	if _, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{RangeStart: 1 << 40}); !errors.Is(err, ErrBadRange) {
+	if _, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{RangeStart: 1 << 40}); !errors.Is(err, ErrBadRange) {
 		t.Errorf("bad range: %v", err)
 	}
 }
 
 func TestHTTPPushdown(t *testing.T) {
 	cluster, cl := newHTTPStore(t)
-	_ = cl.CreateContainer("gp", "meters", nil)
-	if _, err := cl.PutObject("gp", "meters", "jan.csv", strings.NewReader(meterCSV), nil); err != nil {
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
+	if _, err := cl.PutObject(context.Background(), "gp", "meters", "jan.csv", strings.NewReader(meterCSV), nil); err != nil {
 		t.Fatal(err)
 	}
 	task := &pushdown.Task{
@@ -101,7 +102,7 @@ func TestHTTPPushdown(t *testing.T) {
 		Columns:    []string{"vid"},
 		Predicates: []pushdown.Predicate{{Column: "state", Op: pushdown.OpEq, Value: "FRA"}},
 	}
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{task}})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{task}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +120,11 @@ func TestHTTPPutPipelinePolicy(t *testing.T) {
 		Filter:  etl.CleanseName,
 		Options: map[string]string{"columns": "5"},
 	}}}
-	if err := cl.CreateContainer("gp", "meters", policy); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", policy); err != nil {
 		t.Fatal(err)
 	}
 	dirty := "V1,2015-01-01,1.0,Rotterdam,NED\nshort,row\n"
-	info, err := cl.PutObject("gp", "meters", "jan.csv", strings.NewReader(dirty), nil)
+	info, err := cl.PutObject(context.Background(), "gp", "meters", "jan.csv", strings.NewReader(dirty), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,25 +136,25 @@ func TestHTTPPutPipelinePolicy(t *testing.T) {
 
 func TestHTTPHeadDeleteList(t *testing.T) {
 	_, cl := newHTTPStore(t)
-	_ = cl.CreateContainer("gp", "meters", nil)
-	_, _ = cl.PutObject("gp", "meters", "a.csv", strings.NewReader("x\n"), nil)
-	_, _ = cl.PutObject("gp", "meters", "b.csv", strings.NewReader("y\n"), nil)
-	info, err := cl.HeadObject("gp", "meters", "a.csv")
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
+	_, _ = cl.PutObject(context.Background(), "gp", "meters", "a.csv", strings.NewReader("x\n"), nil)
+	_, _ = cl.PutObject(context.Background(), "gp", "meters", "b.csv", strings.NewReader("y\n"), nil)
+	info, err := cl.HeadObject(context.Background(), "gp", "meters", "a.csv")
 	if err != nil || info.Size != 2 {
 		t.Fatalf("head: %+v, %v", info, err)
 	}
-	list, err := cl.ListObjects("gp", "meters", "")
+	list, err := cl.ListObjects(context.Background(), "gp", "meters", "")
 	if err != nil || len(list) != 2 {
 		t.Fatalf("list: %v, %v", list, err)
 	}
-	list, err = cl.ListObjects("gp", "meters", "b")
+	list, err = cl.ListObjects(context.Background(), "gp", "meters", "b")
 	if err != nil || len(list) != 1 || list[0].Name != "b.csv" {
 		t.Fatalf("prefix list: %v, %v", list, err)
 	}
-	if err := cl.DeleteObject("gp", "meters", "a.csv"); err != nil {
+	if err := cl.DeleteObject(context.Background(), "gp", "meters", "a.csv"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.HeadObject("gp", "meters", "a.csv"); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.HeadObject(context.Background(), "gp", "meters", "a.csv"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("head after delete: %v", err)
 	}
 }
@@ -187,8 +188,8 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 	// Prepare a real object for header error paths.
 	cl := NewHTTPClient(srv.URL)
-	_ = cl.CreateContainer("a", "c", nil)
-	_, _ = cl.PutObject("a", "c", "o", strings.NewReader("hello\n"), nil)
+	_ = cl.CreateContainer(context.Background(), "a", "c", nil)
+	_, _ = cl.PutObject(context.Background(), "a", "c", "o", strings.NewReader("hello\n"), nil)
 	if resp := get("/v1/a/c/o", map[string]string{"Range": "bogus"}); resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
 		t.Errorf("bad range header = %d", resp.StatusCode)
 	}
@@ -224,32 +225,32 @@ func TestHTTPBadRequests(t *testing.T) {
 
 func TestHTTPAccountAndContainerLifecycle(t *testing.T) {
 	_, cl := newHTTPStore(t)
-	if _, err := cl.ListContainers("gp"); !IsNotFound(err) {
+	if _, err := cl.ListContainers(context.Background(), "gp"); !IsNotFound(err) {
 		t.Errorf("unknown account: %v", err)
 	}
-	_ = cl.CreateContainer("gp", "a", nil)
-	_ = cl.CreateContainer("gp", "b", nil)
-	names, err := cl.ListContainers("gp")
+	_ = cl.CreateContainer(context.Background(), "gp", "a", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "b", nil)
+	names, err := cl.ListContainers(context.Background(), "gp")
 	if err != nil || len(names) != 2 || names[0] != "a" {
 		t.Fatalf("containers = %v, %v", names, err)
 	}
 	// Non-empty containers refuse deletion.
-	if _, err := cl.PutObject("gp", "a", "o", strings.NewReader("x"), nil); err != nil {
+	if _, err := cl.PutObject(context.Background(), "gp", "a", "o", strings.NewReader("x"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.DeleteContainer("gp", "a"); !errors.Is(err, ErrContainerNotEmpty) {
+	if err := cl.DeleteContainer(context.Background(), "gp", "a"); !errors.Is(err, ErrContainerNotEmpty) {
 		t.Errorf("non-empty delete: %v", err)
 	}
-	if err := cl.DeleteObject("gp", "a", "o"); err != nil {
+	if err := cl.DeleteObject(context.Background(), "gp", "a", "o"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.DeleteContainer("gp", "a"); err != nil {
+	if err := cl.DeleteContainer(context.Background(), "gp", "a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.DeleteContainer("gp", "a"); !IsNotFound(err) {
+	if err := cl.DeleteContainer(context.Background(), "gp", "a"); !IsNotFound(err) {
 		t.Errorf("double delete: %v", err)
 	}
-	names, _ = cl.ListContainers("gp")
+	names, _ = cl.ListContainers(context.Background(), "gp")
 	if len(names) != 1 || names[0] != "b" {
 		t.Errorf("containers after delete = %v", names)
 	}

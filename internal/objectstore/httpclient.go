@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,7 +13,8 @@ import (
 
 // HTTPClient implements Client against a store served by Handler — the
 // disaggregated setup of the paper, where compute and storage talk over an
-// inter-cluster network.
+// inter-cluster network. Every request carries the caller's context, so a
+// cancelled query aborts its in-flight round-trips.
 type HTTPClient struct {
 	// BaseURL is the store endpoint, e.g. "http://lb.storage:8080".
 	BaseURL string
@@ -37,8 +39,8 @@ func (c *HTTPClient) url(parts ...string) string {
 }
 
 // CreateContainer implements Client.
-func (c *HTTPClient) CreateContainer(account, container string, policy *ContainerPolicy) error {
-	req, err := http.NewRequest(http.MethodPut, c.url(account, container), nil)
+func (c *HTTPClient) CreateContainer(ctx context.Context, account, container string, policy *ContainerPolicy) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(account, container), nil)
 	if err != nil {
 		return err
 	}
@@ -70,8 +72,8 @@ func (c *HTTPClient) CreateContainer(account, container string, policy *Containe
 }
 
 // PutObject implements Client.
-func (c *HTTPClient) PutObject(account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
-	req, err := http.NewRequest(http.MethodPut, c.url(account, container, object), r)
+func (c *HTTPClient) PutObject(ctx context.Context, account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(account, container, object), r)
 	if err != nil {
 		return ObjectInfo{}, err
 	}
@@ -87,12 +89,12 @@ func (c *HTTPClient) PutObject(account, container, object string, r io.Reader, m
 		return ObjectInfo{}, statusErr(resp)
 	}
 	// A HEAD round-trip fills in size/etag authoritatively.
-	return c.HeadObject(account, container, object)
+	return c.HeadObject(ctx, account, container, object)
 }
 
 // GetObject implements Client.
-func (c *HTTPClient) GetObject(account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
-	req, err := http.NewRequest(http.MethodGet, c.url(account, container, object), nil)
+func (c *HTTPClient) GetObject(ctx context.Context, account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(account, container, object), nil)
 	if err != nil {
 		return nil, ObjectInfo{}, err
 	}
@@ -130,8 +132,8 @@ func (c *HTTPClient) GetObject(account, container, object string, opts GetOption
 }
 
 // HeadObject implements Client.
-func (c *HTTPClient) HeadObject(account, container, object string) (ObjectInfo, error) {
-	req, err := http.NewRequest(http.MethodHead, c.url(account, container, object), nil)
+func (c *HTTPClient) HeadObject(ctx context.Context, account, container, object string) (ObjectInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.url(account, container, object), nil)
 	if err != nil {
 		return ObjectInfo{}, err
 	}
@@ -154,8 +156,8 @@ func (c *HTTPClient) HeadObject(account, container, object string) (ObjectInfo, 
 }
 
 // DeleteObject implements Client.
-func (c *HTTPClient) DeleteObject(account, container, object string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.url(account, container, object), nil)
+func (c *HTTPClient) DeleteObject(ctx context.Context, account, container, object string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url(account, container, object), nil)
 	if err != nil {
 		return err
 	}
@@ -171,12 +173,16 @@ func (c *HTTPClient) DeleteObject(account, container, object string) error {
 }
 
 // ListObjects implements Client.
-func (c *HTTPClient) ListObjects(account, container, prefix string) ([]ObjectInfo, error) {
+func (c *HTTPClient) ListObjects(ctx context.Context, account, container, prefix string) ([]ObjectInfo, error) {
 	url := c.url(account, container)
 	if prefix != "" {
 		url += "?prefix=" + prefix
 	}
-	resp, err := c.httpc().Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc().Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -192,8 +198,12 @@ func (c *HTTPClient) ListObjects(account, container, prefix string) ([]ObjectInf
 }
 
 // ListContainers implements Client.
-func (c *HTTPClient) ListContainers(account string) ([]string, error) {
-	resp, err := c.httpc().Get(c.url(account))
+func (c *HTTPClient) ListContainers(ctx context.Context, account string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(account), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc().Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -209,8 +219,8 @@ func (c *HTTPClient) ListContainers(account string) ([]string, error) {
 }
 
 // DeleteContainer implements Client.
-func (c *HTTPClient) DeleteContainer(account, container string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.url(account, container), nil)
+func (c *HTTPClient) DeleteContainer(ctx context.Context, account, container string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url(account, container), nil)
 	if err != nil {
 		return err
 	}
@@ -232,8 +242,11 @@ func (c *HTTPClient) DeleteContainer(account, container string) error {
 // statusErr converts an error response to the store's sentinel errors where
 // possible so errors.Is works across the HTTP boundary.
 func statusErr(resp *http.Response) error {
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 512))
 	msg := strings.TrimSpace(string(body))
+	if err != nil && msg == "" {
+		msg = "error body unreadable: " + err.Error()
+	}
 	switch resp.StatusCode {
 	case http.StatusNotFound:
 		return fmt.Errorf("%w (%s)", ErrNotFound, msg)

@@ -2,6 +2,7 @@ package objectstore
 
 import (
 	"bytes"
+	"context"
 	"crypto/md5"
 	"encoding/hex"
 	"fmt"
@@ -33,7 +34,10 @@ func NewMemStore() *MemStore {
 }
 
 // Put stores the full object read from r.
-func (s *MemStore) Put(info ObjectInfo, r io.Reader) (ObjectInfo, error) {
+func (s *MemStore) Put(ctx context.Context, info ObjectInfo, r io.Reader) (ObjectInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return ObjectInfo{}, fmt.Errorf("memstore: put %s: %w", info.Path(), err)
+	}
 	var buf bytes.Buffer
 	h := md5.New()
 	if _, err := io.Copy(io.MultiWriter(&buf, h), r); err != nil {
@@ -54,7 +58,10 @@ func (s *MemStore) Put(info ObjectInfo, r io.Reader) (ObjectInfo, error) {
 // Get returns a reader over bytes [start, end) of the object. end <= 0 means
 // the object's end. The reader never blocks and needs no cleanup beyond
 // Close.
-func (s *MemStore) Get(path string, start, end int64) (io.ReadCloser, ObjectInfo, error) {
+func (s *MemStore) Get(ctx context.Context, path string, start, end int64) (io.ReadCloser, ObjectInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ObjectInfo{}, fmt.Errorf("memstore: get %s: %w", path, err)
+	}
 	s.mu.RLock()
 	b, ok := s.blobs[path]
 	s.mu.RUnlock()
@@ -72,7 +79,7 @@ func (s *MemStore) Get(path string, start, end int64) (io.ReadCloser, ObjectInfo
 }
 
 // Head returns object metadata.
-func (s *MemStore) Head(path string) (ObjectInfo, error) {
+func (s *MemStore) Head(_ context.Context, path string) (ObjectInfo, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	b, ok := s.blobs[path]
@@ -84,14 +91,14 @@ func (s *MemStore) Head(path string) (ObjectInfo, error) {
 
 // Delete removes the object. Deleting a missing object is not an error
 // (Swift DELETE is idempotent at the object server).
-func (s *MemStore) Delete(path string) {
+func (s *MemStore) Delete(_ context.Context, path string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.blobs, path)
 }
 
 // List returns stored objects whose path starts with prefix, sorted by path.
-func (s *MemStore) List(prefix string) []ObjectInfo {
+func (s *MemStore) List(_ context.Context, prefix string) []ObjectInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []ObjectInfo

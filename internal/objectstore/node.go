@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -74,17 +75,17 @@ func (n *Node) ResetStats() {
 }
 
 // Put stores a replica of the object.
-func (n *Node) Put(info ObjectInfo, r io.Reader) (ObjectInfo, error) {
+func (n *Node) Put(ctx context.Context, info ObjectInfo, r io.Reader) (ObjectInfo, error) {
 	if n.down.Load() {
 		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
-	return n.store.Put(info, r)
+	return n.store.Put(ctx, info, r)
 }
 
 // Get serves bytes [start, end) of the object, streaming them through the
 // object-stage tasks of the pushdown chain. It returns the (possibly
 // filtered) stream; info describes the stored object, not the stream.
-func (n *Node) Get(path string, start, end int64, tasks []*pushdown.Task) (io.ReadCloser, ObjectInfo, error) {
+func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*pushdown.Task) (io.ReadCloser, ObjectInfo, error) {
 	if n.down.Load() {
 		return nil, ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
@@ -96,7 +97,7 @@ func (n *Node) Get(path string, start, end int64, tasks []*pushdown.Task) (io.Re
 	if len(tasks) > 0 {
 		fetchEnd = 0 // store convention: to the object's end
 	}
-	rc, info, err := n.store.Get(path, start, fetchEnd)
+	rc, info, err := n.store.Get(ctx, path, start, fetchEnd)
 	if err != nil {
 		return nil, ObjectInfo{}, err
 	}
@@ -113,13 +114,13 @@ func (n *Node) Get(path string, start, end int64, tasks []*pushdown.Task) (io.Re
 	if len(tasks) == 0 {
 		return &countedCloser{rc: rc, node: n}, info, nil
 	}
-	ctx := &storlet.Context{
+	sctx := &storlet.Context{
 		RangeStart: start,
 		RangeEnd:   end,
 		ObjectSize: info.Size,
 	}
 	filterStart := time.Now()
-	out, err := n.engine.RunChain(ctx, tasks, rc)
+	out, err := n.engine.RunChain(sctx, tasks, rc)
 	if err != nil {
 		rc.Close()
 		return nil, ObjectInfo{}, fmt.Errorf("node %s: %w", n.name, err)
@@ -130,28 +131,28 @@ func (n *Node) Get(path string, start, end int64, tasks []*pushdown.Task) (io.Re
 }
 
 // Head returns a replica's metadata.
-func (n *Node) Head(path string) (ObjectInfo, error) {
+func (n *Node) Head(ctx context.Context, path string) (ObjectInfo, error) {
 	if n.down.Load() {
 		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
-	return n.store.Head(path)
+	return n.store.Head(ctx, path)
 }
 
 // Delete removes a replica.
-func (n *Node) Delete(path string) error {
+func (n *Node) Delete(ctx context.Context, path string) error {
 	if n.down.Load() {
 		return fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
-	n.store.Delete(path)
+	n.store.Delete(ctx, path)
 	return nil
 }
 
 // List lists replicas by path prefix.
-func (n *Node) List(prefix string) ([]ObjectInfo, error) {
+func (n *Node) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
 	if n.down.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
-	return n.store.List(prefix), nil
+	return n.store.List(ctx, prefix), nil
 }
 
 // countedCloser accounts outbound bytes and filter wall time as the stream

@@ -11,6 +11,7 @@
 package objectstore
 
 import (
+	"context"
 	"errors"
 	"io"
 	"time"
@@ -68,24 +69,27 @@ type ContainerPolicy struct {
 }
 
 // Client is the operations surface of the store, implemented both by the
-// in-process Proxy and by the HTTP client.
+// in-process Proxy and by the HTTP client. Every operation takes a
+// context.Context so a caller that goes away — a query cancelled mid-scan, a
+// compute task past its deadline — tears its request down through the whole
+// connector -> proxy -> storlet stack instead of leaving work running.
 type Client interface {
 	// CreateContainer creates a container for an account.
-	CreateContainer(account, container string, policy *ContainerPolicy) error
+	CreateContainer(ctx context.Context, account, container string, policy *ContainerPolicy) error
 	// PutObject stores an object, applying the container's PUT pipeline.
-	PutObject(account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error)
+	PutObject(ctx context.Context, account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error)
 	// GetObject reads (a range of) an object, optionally through pushdown
 	// filters. The caller must close the returned reader.
-	GetObject(account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error)
+	GetObject(ctx context.Context, account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error)
 	// HeadObject returns object metadata.
-	HeadObject(account, container, object string) (ObjectInfo, error)
+	HeadObject(ctx context.Context, account, container, object string) (ObjectInfo, error)
 	// DeleteObject removes an object from all replicas.
-	DeleteObject(account, container, object string) error
+	DeleteObject(ctx context.Context, account, container, object string) error
 	// ListObjects lists a container's objects with the given name prefix.
-	ListObjects(account, container, prefix string) ([]ObjectInfo, error)
+	ListObjects(ctx context.Context, account, container, prefix string) ([]ObjectInfo, error)
 	// ListContainers lists an account's container names, sorted.
-	ListContainers(account string) ([]string, error)
+	ListContainers(ctx context.Context, account string) ([]string, error)
 	// DeleteContainer removes an empty container (Swift semantics: deleting
 	// a non-empty container fails with ErrContainerNotEmpty).
-	DeleteContainer(account, container string) error
+	DeleteContainer(ctx context.Context, account, container string) error
 }

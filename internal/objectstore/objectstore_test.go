@@ -1,6 +1,7 @@
 package objectstore
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"fmt"
@@ -38,7 +39,7 @@ func newTestCluster(t *testing.T) *Cluster {
 
 func mustPut(t *testing.T, cl Client, account, container, object, data string) ObjectInfo {
 	t.Helper()
-	info, err := cl.PutObject(account, container, object, strings.NewReader(data), nil)
+	info, err := cl.PutObject(context.Background(), account, container, object, strings.NewReader(data), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,14 +59,14 @@ func readAll(t *testing.T, rc io.ReadCloser) string {
 func TestPutGetRoundTrip(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); err != nil {
 		t.Fatal(err)
 	}
 	info := mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
 	if info.Size != int64(len(meterCSV)) || info.ETag == "" {
 		t.Fatalf("info = %+v", info)
 	}
-	rc, got, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{})
+	rc, got, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,22 +81,22 @@ func TestPutGetRoundTrip(t *testing.T) {
 func TestContainerLifecycle(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	if _, err := cl.PutObject("gp", "ghost", "o", strings.NewReader("x"), nil); !errors.Is(err, ErrContainerNotFound) {
+	if _, err := cl.PutObject(context.Background(), "gp", "ghost", "o", strings.NewReader("x"), nil); !errors.Is(err, ErrContainerNotFound) {
 		t.Errorf("put to missing container: %v", err)
 	}
-	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.CreateContainer("gp", "meters", nil); !errors.Is(err, ErrContainerExists) {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); !errors.Is(err, ErrContainerExists) {
 		t.Errorf("duplicate create: %v", err)
 	}
-	if err := cl.CreateContainer("gp", "bad/name", nil); err == nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "bad/name", nil); err == nil {
 		t.Error("invalid container name accepted")
 	}
-	if err := cl.CreateContainer("", "x", nil); err == nil {
+	if err := cl.CreateContainer(context.Background(), "", "x", nil); err == nil {
 		t.Error("empty account accepted")
 	}
-	if _, err := cl.PutObject("gp", "meters", "a/b", strings.NewReader("x"), nil); err == nil {
+	if _, err := cl.PutObject(context.Background(), "gp", "meters", "a/b", strings.NewReader("x"), nil); err == nil {
 		t.Error("invalid object name accepted")
 	}
 }
@@ -103,33 +104,33 @@ func TestContainerLifecycle(t *testing.T) {
 func TestHeadListDelete(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
 	mustPut(t, cl, "gp", "meters", "feb.csv", meterCSV)
 	mustPut(t, cl, "gp", "meters", "other.txt", "hi")
 
-	info, err := cl.HeadObject("gp", "meters", "jan.csv")
+	info, err := cl.HeadObject(context.Background(), "gp", "meters", "jan.csv")
 	if err != nil || info.Size != int64(len(meterCSV)) {
 		t.Fatalf("head = %+v, %v", info, err)
 	}
-	list, err := cl.ListObjects("gp", "meters", "")
+	list, err := cl.ListObjects(context.Background(), "gp", "meters", "")
 	if err != nil || len(list) != 3 {
 		t.Fatalf("list = %v, %v", list, err)
 	}
 	if list[0].Name != "feb.csv" { // sorted
 		t.Errorf("list order: %v", list)
 	}
-	list, _ = cl.ListObjects("gp", "meters", "j")
+	list, _ = cl.ListObjects(context.Background(), "gp", "meters", "j")
 	if len(list) != 1 || list[0].Name != "jan.csv" {
 		t.Errorf("prefix list = %v", list)
 	}
-	if err := cl.DeleteObject("gp", "meters", "jan.csv"); err != nil {
+	if err := cl.DeleteObject(context.Background(), "gp", "meters", "jan.csv"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.HeadObject("gp", "meters", "jan.csv"); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.HeadObject(context.Background(), "gp", "meters", "jan.csv"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("head after delete: %v", err)
 	}
-	if _, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{}); !errors.Is(err, ErrNotFound) {
+	if _, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("get after delete: %v", err)
 	}
 }
@@ -137,9 +138,9 @@ func TestHeadListDelete(t *testing.T) {
 func TestRangedGet(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{RangeStart: 3, RangeEnd: 10})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{RangeStart: 3, RangeEnd: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,10 +148,10 @@ func TestRangedGet(t *testing.T) {
 		t.Errorf("range = %q", got)
 	}
 	// Bad range.
-	if _, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{RangeStart: -1}); err == nil {
+	if _, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{RangeStart: -1}); err == nil {
 		t.Error("negative start accepted")
 	}
-	if _, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{RangeStart: 1 << 40}); err == nil {
+	if _, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{RangeStart: 1 << 40}); err == nil {
 		t.Error("start past end accepted")
 	}
 }
@@ -158,7 +159,7 @@ func TestRangedGet(t *testing.T) {
 func TestPushdownGet(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
 	task := &pushdown.Task{
 		Filter:  csvfilter.FilterName,
@@ -168,7 +169,7 @@ func TestPushdownGet(t *testing.T) {
 			{Column: "state", Op: pushdown.OpLike, Value: "U%"},
 		},
 	}
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{task}})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{task}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,14 +190,14 @@ func TestPushdownGet(t *testing.T) {
 func TestPushdownStageProxy(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
 	task := &pushdown.Task{
 		Filter: csvfilter.FilterName, Schema: meterSchema,
 		Columns: []string{"vid"},
 		Stage:   pushdown.StageProxy,
 	}
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{task}})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{task}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,14 +222,14 @@ func TestPushdownStageProxy(t *testing.T) {
 func TestPushdownRangedSplitExactlyOnce(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
 	task := &pushdown.Task{Filter: csvfilter.FilterName, Schema: meterSchema, Columns: []string{"vid"}}
 	// Two ranges covering the object: rows must appear exactly once total.
 	cut := int64(len(meterCSV) / 2)
 	var all []string
 	for _, r := range [][2]int64{{0, cut}, {cut, int64(len(meterCSV))}} {
-		rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{
+		rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{
 			RangeStart: r[0], RangeEnd: r[1], Pushdown: []*pushdown.Task{task},
 		})
 		if err != nil {
@@ -247,14 +248,14 @@ func TestPushdownRangedSplitExactlyOnce(t *testing.T) {
 func TestPushdownDisabledByPolicy(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "bronze", &ContainerPolicy{DisablePushdown: true})
+	_ = cl.CreateContainer(context.Background(), "gp", "bronze", &ContainerPolicy{DisablePushdown: true})
 	mustPut(t, cl, "gp", "bronze", "o.csv", meterCSV)
 	task := &pushdown.Task{Filter: csvfilter.FilterName, Schema: meterSchema}
-	if _, _, err := cl.GetObject("gp", "bronze", "o.csv", GetOptions{Pushdown: []*pushdown.Task{task}}); err == nil {
+	if _, _, err := cl.GetObject(context.Background(), "gp", "bronze", "o.csv", GetOptions{Pushdown: []*pushdown.Task{task}}); err == nil {
 		t.Error("pushdown should be rejected by policy")
 	}
 	// Plain GET still works.
-	rc, _, err := cl.GetObject("gp", "bronze", "o.csv", GetOptions{})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "bronze", "o.csv", GetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,10 +269,10 @@ func TestPutPipelinePolicy(t *testing.T) {
 		Filter:  etl.CleanseName,
 		Options: map[string]string{"columns": "5", "required": "0,1"},
 	}}}
-	_ = cl.CreateContainer("gp", "meters", policy)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", policy)
 	dirty := " V1 ,2015-01-01 00:10:00,10.5,Rotterdam,NED\nbadrow\nV2,2015-01-01 00:10:00,5.25,Paris,FRA\n"
 	info := mustPut(t, cl, "gp", "meters", "jan.csv", dirty)
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestPutPipelinePolicy(t *testing.T) {
 func TestReplicationAndFailover(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
 	// Find the replica nodes for this object and take the primary down.
 	path := "/gp/meters/jan.csv"
@@ -304,7 +305,7 @@ func TestReplicationAndFailover(t *testing.T) {
 			n.SetDown(true)
 		}
 	}
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{})
 	if err != nil {
 		t.Fatalf("failover GET failed: %v", err)
 	}
@@ -315,11 +316,11 @@ func TestReplicationAndFailover(t *testing.T) {
 	for _, n := range c.Nodes() {
 		n.SetDown(true)
 	}
-	if _, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{}); err == nil {
+	if _, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{}); err == nil {
 		t.Error("GET with all nodes down should fail")
 	}
 	// Puts fail too.
-	if _, err := cl.PutObject("gp", "meters", "x.csv", strings.NewReader("a\n"), nil); err == nil {
+	if _, err := cl.PutObject(context.Background(), "gp", "meters", "x.csv", strings.NewReader("a\n"), nil); err == nil {
 		t.Error("PUT with all nodes down should fail")
 	}
 }
@@ -327,7 +328,7 @@ func TestReplicationAndFailover(t *testing.T) {
 func TestReplicaPlacement(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
 	// The object exists on exactly the ring-designated nodes.
 	path := "/gp/meters/jan.csv"
@@ -337,7 +338,7 @@ func TestReplicaPlacement(t *testing.T) {
 		want[n] = true
 	}
 	for _, n := range c.Nodes() {
-		_, err := n.Head(path)
+		_, err := n.Head(context.Background(), path)
 		if want[n.Name()] && err != nil {
 			t.Errorf("replica missing on %s: %v", n.Name(), err)
 		}
@@ -350,14 +351,14 @@ func TestReplicaPlacement(t *testing.T) {
 func TestGetUnknownFilter(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
 	task := &pushdown.Task{Filter: "ghost"}
-	if _, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{task}}); err == nil {
+	if _, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{task}}); err == nil {
 		t.Error("unknown filter should fail")
 	}
 	bad := &pushdown.Task{Filter: "csv", Stage: "moon"}
-	if _, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{bad}}); err == nil {
+	if _, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{Pushdown: []*pushdown.Task{bad}}); err == nil {
 		t.Error("invalid stage should fail")
 	}
 }
@@ -379,9 +380,9 @@ func TestClusterConfigValidation(t *testing.T) {
 func TestStatsResetAndNodeList(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestStatsResetAndNodeList(t *testing.T) {
 	path := "/gp/meters/jan.csv"
 	names, _ := c.Ring().NodesFor(path)
 	for _, n := range c.Nodes() {
-		list, err := n.List("/gp/meters/")
+		list, err := n.List(context.Background(), "/gp/meters/")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -416,10 +417,10 @@ func TestStatsResetAndNodeList(t *testing.T) {
 	}
 	// Downed node refuses Head and List.
 	c.Nodes()[0].SetDown(true)
-	if _, err := c.Nodes()[0].Head(path); err == nil {
+	if _, err := c.Nodes()[0].Head(context.Background(), path); err == nil {
 		t.Error("down node served Head")
 	}
-	if _, err := c.Nodes()[0].List("/"); err == nil {
+	if _, err := c.Nodes()[0].List(context.Background(), "/"); err == nil {
 		t.Error("down node served List")
 	}
 }
@@ -455,27 +456,27 @@ func TestPolicyFromHeaders(t *testing.T) {
 func TestHTTPClientCustomTransport(t *testing.T) {
 	cl := NewHTTPClient("http://example.invalid")
 	cl.HTTP = &http.Client{} // custom client path
-	if _, err := cl.HeadObject("a", "c", "o"); err == nil {
+	if _, err := cl.HeadObject(context.Background(), "a", "c", "o"); err == nil {
 		t.Error("unreachable host should fail")
 	}
 }
 
 func TestMemStoreDirect(t *testing.T) {
 	s := NewMemStore()
-	info, err := s.Put(ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("hello"))
+	info, err := s.Put(context.Background(), ObjectInfo{Account: "a", Container: "c", Name: "o"}, strings.NewReader("hello"))
 	if err != nil || info.Size != 5 {
 		t.Fatalf("put: %+v, %v", info, err)
 	}
 	if s.Bytes() != 5 {
 		t.Errorf("bytes = %d", s.Bytes())
 	}
-	if _, _, err := s.Get("/a/c/missing", 0, 0); !errors.Is(err, ErrNotFound) {
+	if _, _, err := s.Get(context.Background(), "/a/c/missing", 0, 0); !errors.Is(err, ErrNotFound) {
 		t.Errorf("get missing: %v", err)
 	}
-	if _, _, err := s.Get("/a/c/o", 9, 0); !errors.Is(err, ErrBadRange) {
+	if _, _, err := s.Get(context.Background(), "/a/c/o", 9, 0); !errors.Is(err, ErrBadRange) {
 		t.Errorf("bad range: %v", err)
 	}
-	rc, _, err := s.Get("/a/c/o", 1, 3)
+	rc, _, err := s.Get(context.Background(), "/a/c/o", 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,27 +484,27 @@ func TestMemStoreDirect(t *testing.T) {
 	if string(b) != "el" {
 		t.Errorf("range read = %q", b)
 	}
-	if _, err := s.Head("/a/c/o"); err != nil {
+	if _, err := s.Head(context.Background(), "/a/c/o"); err != nil {
 		t.Error(err)
 	}
-	s.Delete("/a/c/o")
-	if _, err := s.Head("/a/c/o"); !errors.Is(err, ErrNotFound) {
+	s.Delete(context.Background(), "/a/c/o")
+	if _, err := s.Head(context.Background(), "/a/c/o"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("head after delete: %v", err)
 	}
-	s.Delete("/a/c/o") // idempotent
+	s.Delete(context.Background(), "/a/c/o") // idempotent
 }
 
 func TestConcurrentGets(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	big := strings.Repeat(meterCSV, 100)
 	mustPut(t, cl, "gp", "meters", "big.csv", big)
 	task := &pushdown.Task{Filter: csvfilter.FilterName, Schema: meterSchema, Columns: []string{"vid"}}
 	done := make(chan error, 16)
 	for i := 0; i < 16; i++ {
 		go func() {
-			rc, _, err := cl.GetObject("gp", "meters", "big.csv", GetOptions{Pushdown: []*pushdown.Task{task}})
+			rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "big.csv", GetOptions{Pushdown: []*pushdown.Task{task}})
 			if err != nil {
 				done <- err
 				return
@@ -527,34 +528,34 @@ func TestDeployStorletsFromObjects(t *testing.T) {
 	c := newTestCluster(t)
 	cl := c.Client()
 	// Nothing deployed when the container doesn't exist.
-	n, err := DeployStorlets(cl, "gp", c.Engine())
+	n, err := DeployStorlets(context.Background(), cl, "gp", c.Engine())
 	if err != nil || n != 0 {
 		t.Fatalf("empty deploy = %d, %v", n, err)
 	}
 	// PUT a pipeline manifest as a regular object.
-	_ = cl.CreateContainer("gp", StorletContainer, nil)
+	_ = cl.CreateContainer(context.Background(), "gp", StorletContainer, nil)
 	manifest := `{"name": "fra-only", "type": "pipeline", "chain": [
 		{"filter": "csv",
 		 "schema": "vid string, date string, index double, city string, state string",
 		 "columns": ["vid"],
 		 "predicates": [{"col": "state", "op": "eq", "val": "FRA"}]}
 	]}`
-	if _, err := cl.PutObject("gp", StorletContainer, "fra-only.json", strings.NewReader(manifest), nil); err != nil {
+	if _, err := cl.PutObject(context.Background(), "gp", StorletContainer, "fra-only.json", strings.NewReader(manifest), nil); err != nil {
 		t.Fatal(err)
 	}
-	n, err = DeployStorlets(cl, "gp", c.Engine())
+	n, err = DeployStorlets(context.Background(), cl, "gp", c.Engine())
 	if err != nil || n != 1 {
 		t.Fatalf("deploy = %d, %v", n, err)
 	}
 	// Redeploy is idempotent.
-	n, err = DeployStorlets(cl, "gp", c.Engine())
+	n, err = DeployStorlets(context.Background(), cl, "gp", c.Engine())
 	if err != nil || n != 0 {
 		t.Fatalf("redeploy = %d, %v", n, err)
 	}
 	// The deployed macro works as a pushdown task.
-	_ = cl.CreateContainer("gp", "meters", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	mustPut(t, cl, "gp", "meters", "jan.csv", meterCSV)
-	rc, _, err := cl.GetObject("gp", "meters", "jan.csv", GetOptions{
+	rc, _, err := cl.GetObject(context.Background(), "gp", "meters", "jan.csv", GetOptions{
 		Pushdown: []*pushdown.Task{{Filter: "fra-only"}},
 	})
 	if err != nil {
@@ -564,10 +565,10 @@ func TestDeployStorletsFromObjects(t *testing.T) {
 		t.Errorf("macro output = %q", got)
 	}
 	// A broken manifest fails the deploy.
-	if _, err := cl.PutObject("gp", StorletContainer, "broken.json", strings.NewReader("not json"), nil); err != nil {
+	if _, err := cl.PutObject(context.Background(), "gp", StorletContainer, "broken.json", strings.NewReader("not json"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DeployStorlets(cl, "gp", c.Engine()); err == nil {
+	if _, err := DeployStorlets(context.Background(), cl, "gp", c.Engine()); err == nil {
 		t.Error("broken manifest accepted")
 	}
 }
@@ -577,7 +578,7 @@ func TestDeployFilterOnTheFly(t *testing.T) {
 	// cluster serves traffic, then invoke it via request metadata.
 	c := newTestCluster(t)
 	cl := c.Client()
-	_ = cl.CreateContainer("gp", "logs", nil)
+	_ = cl.CreateContainer(context.Background(), "gp", "logs", nil)
 	mustPut(t, cl, "gp", "logs", "app.log", "INFO ok\nERROR boom\nINFO fine\nERROR bad\n")
 	grep := storlet.FilterFunc{
 		FilterName: "grep",
@@ -599,7 +600,7 @@ func TestDeployFilterOnTheFly(t *testing.T) {
 		t.Fatal(err)
 	}
 	task := &pushdown.Task{Filter: "grep", Options: map[string]string{"pattern": "ERROR"}}
-	rc, _, err := cl.GetObject("gp", "logs", "app.log", GetOptions{Pushdown: []*pushdown.Task{task}})
+	rc, _, err := cl.GetObject(context.Background(), "gp", "logs", "app.log", GetOptions{Pushdown: []*pushdown.Task{task}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package objectstore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -84,7 +85,7 @@ func (p *Proxy) ResetStats() {
 }
 
 // CreateContainer implements Client.
-func (p *Proxy) CreateContainer(account, container string, policy *ContainerPolicy) error {
+func (p *Proxy) CreateContainer(_ context.Context, account, container string, policy *ContainerPolicy) error {
 	if err := validateName(account); err != nil {
 		return err
 	}
@@ -143,7 +144,7 @@ func (p *Proxy) containerPolicy(account, container string) (ContainerPolicy, err
 // PutObject implements Client: it runs the container's PUT pipeline (the
 // upload-path ETL), then replicates the resulting object to every ring
 // replica.
-func (p *Proxy) PutObject(account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
+func (p *Proxy) PutObject(ctx context.Context, account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
 	cs, err := p.container(account, container)
 	if err != nil {
 		return ObjectInfo{}, err
@@ -157,8 +158,8 @@ func (p *Proxy) PutObject(account, container, object string, r io.Reader, meta m
 	}
 	stream := r
 	if len(policy.PutPipeline) > 0 {
-		ctx := &storlet.Context{RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: -1}
-		rc, err := p.engine.RunChain(ctx, policy.PutPipeline, r)
+		sctx := &storlet.Context{RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: -1}
+		rc, err := p.engine.RunChain(sctx, policy.PutPipeline, r)
 		if err != nil {
 			return ObjectInfo{}, fmt.Errorf("put pipeline: %w", err)
 		}
@@ -184,7 +185,7 @@ func (p *Proxy) PutObject(account, container, object string, r io.Reader, meta m
 	ok := 0
 	var firstErr error
 	for _, node := range nodes {
-		si, err := node.Put(info, bytes.NewReader(buf.Bytes()))
+		si, err := node.Put(ctx, info, bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -233,7 +234,7 @@ func (p *Proxy) replicaNodes(path string) ([]*Node, error) {
 
 // GetObject implements Client. Object-stage tasks run at the object server
 // holding the replica; proxy-stage tasks run here, on the way through.
-func (p *Proxy) GetObject(account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
+func (p *Proxy) GetObject(ctx context.Context, account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
 	policy, err := p.containerPolicy(account, container)
 	if err != nil {
 		return nil, ObjectInfo{}, err
@@ -257,7 +258,10 @@ func (p *Proxy) GetObject(account, container, object string, opts GetOptions) (i
 	var info ObjectInfo
 	var lastErr error = ErrNotFound
 	for _, node := range nodes {
-		rc, info, err = node.Get(path, opts.RangeStart, opts.RangeEnd, objectStage)
+		if err := ctx.Err(); err != nil {
+			return nil, ObjectInfo{}, err
+		}
+		rc, info, err = node.Get(ctx, path, opts.RangeStart, opts.RangeEnd, objectStage)
 		if err == nil {
 			break
 		}
@@ -278,15 +282,15 @@ func (p *Proxy) GetObject(account, container, object string, opts GetOptions) (i
 	// raw object bytes. Their range covers the whole derived stream unless
 	// no object-stage filter ran, in which case the original byte range
 	// still describes the stream.
-	ctx := &storlet.Context{RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: info.Size}
+	sctx := &storlet.Context{RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: info.Size}
 	if len(objectStage) == 0 {
 		end := opts.RangeEnd
 		if end <= 0 || end > info.Size {
 			end = info.Size
 		}
-		ctx.RangeStart, ctx.RangeEnd = opts.RangeStart, end
+		sctx.RangeStart, sctx.RangeEnd = opts.RangeStart, end
 	}
-	out, err := p.engine.RunChain(ctx, proxyStage, counted)
+	out, err := p.engine.RunChain(sctx, proxyStage, counted)
 	if err != nil {
 		counted.Close()
 		return nil, ObjectInfo{}, err
@@ -308,7 +312,7 @@ func splitByStage(tasks []*pushdown.Task) (objectStage, proxyStage []*pushdown.T
 }
 
 // HeadObject implements Client.
-func (p *Proxy) HeadObject(account, container, object string) (ObjectInfo, error) {
+func (p *Proxy) HeadObject(_ context.Context, account, container, object string) (ObjectInfo, error) {
 	cs, err := p.container(account, container)
 	if err != nil {
 		return ObjectInfo{}, err
@@ -323,7 +327,7 @@ func (p *Proxy) HeadObject(account, container, object string) (ObjectInfo, error
 }
 
 // DeleteObject implements Client.
-func (p *Proxy) DeleteObject(account, container, object string) error {
+func (p *Proxy) DeleteObject(ctx context.Context, account, container, object string) error {
 	cs, err := p.container(account, container)
 	if err != nil {
 		return err
@@ -335,7 +339,7 @@ func (p *Proxy) DeleteObject(account, container, object string) error {
 	}
 	var lastErr error
 	for _, n := range nodes {
-		if err := n.Delete(path); err != nil {
+		if err := n.Delete(ctx, path); err != nil {
 			lastErr = err
 		}
 	}
@@ -347,7 +351,7 @@ func (p *Proxy) DeleteObject(account, container, object string) error {
 
 // ListObjects implements Client using the proxy-tier container index (Swift
 // keeps container listings on the metadata tier, not on object servers).
-func (p *Proxy) ListObjects(account, container, prefix string) ([]ObjectInfo, error) {
+func (p *Proxy) ListObjects(_ context.Context, account, container, prefix string) ([]ObjectInfo, error) {
 	cs, err := p.container(account, container)
 	if err != nil {
 		return nil, err
@@ -365,7 +369,7 @@ func (p *Proxy) ListObjects(account, container, prefix string) ([]ObjectInfo, er
 }
 
 // ListContainers implements Client.
-func (p *Proxy) ListContainers(account string) ([]string, error) {
+func (p *Proxy) ListContainers(_ context.Context, account string) ([]string, error) {
 	p.reg.mu.RLock()
 	defer p.reg.mu.RUnlock()
 	acc, ok := p.reg.accounts[account]
@@ -381,7 +385,7 @@ func (p *Proxy) ListContainers(account string) ([]string, error) {
 }
 
 // DeleteContainer implements Client.
-func (p *Proxy) DeleteContainer(account, container string) error {
+func (p *Proxy) DeleteContainer(_ context.Context, account, container string) error {
 	p.reg.mu.Lock()
 	defer p.reg.mu.Unlock()
 	acc, ok := p.reg.accounts[account]

@@ -96,8 +96,8 @@ func (r *RDD) Filter(fn func(string) bool) *RDD {
 // byte-range splits of the largest objects until minPartitions is reached.
 // This is the object-aware strategy §VII argues should replace the HDFS
 // chunk-size heuristic.
-func (r *RDD) Partitions() ([]connector.Split, error) {
-	objects, err := r.conn.Client().ListObjects(r.conn.Account(), r.container, r.prefix)
+func (r *RDD) Partitions(ctx context.Context) ([]connector.Split, error) {
+	objects, err := r.conn.Client().ListObjects(ctx, r.conn.Account(), r.container, r.prefix)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +140,7 @@ func (r *RDD) Partitions() ([]connector.Split, error) {
 // collectPartition materializes one partition: open the (filtered) stream
 // and apply the compute-side lineage line by line.
 func (r *RDD) collectPartition(ctx context.Context, split connector.Split) ([]string, error) {
-	rc, err := r.conn.Open(split, r.storlets)
+	rc, err := r.conn.Open(ctx, split, r.storlets)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +169,7 @@ func (r *RDD) collectPartition(ctx context.Context, split connector.Split) ([]st
 
 // runPartitions schedules one task per partition on the driver.
 func (r *RDD) runPartitions(ctx context.Context, d *compute.Driver) ([][]string, error) {
-	splits, err := r.Partitions()
+	splits, err := r.Partitions(ctx)
 	if err != nil {
 		return nil, err
 	}

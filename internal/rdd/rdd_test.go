@@ -25,7 +25,7 @@ func fixture(t *testing.T) (*connector.Connector, *compute.Driver) {
 		t.Fatal(err)
 	}
 	cl := c.Client()
-	if err := cl.CreateContainer("gp", "meters", nil); err != nil {
+	if err := cl.CreateContainer(context.Background(), "gp", "meters", nil); err != nil {
 		t.Fatal(err)
 	}
 	conn := connector.New(cl, "gp", 0)
@@ -33,7 +33,7 @@ func fixture(t *testing.T) (*connector.Connector, *compute.Driver) {
 	obj1 := "V1,2015-01-01,10.5,Rotterdam,NED\nV2,2015-01-01,5.0,Paris,FRA\nV3,2015-01-01,1.0,Kyiv,UKR\n"
 	obj2 := "V4,2015-02-01,7.0,Lyon,FRA\nV5,2015-02-01,2.0,Berlin,GER\nV6,2015-02-01,9.0,Nice,FRA\n"
 	for i, data := range []string{obj1, obj2} {
-		if _, err := conn.Upload("meters", fmt.Sprintf("part-%d.csv", i), strings.NewReader(data)); err != nil {
+		if _, err := conn.Upload(context.Background(), "meters", fmt.Sprintf("part-%d.csv", i), strings.NewReader(data)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -143,7 +143,7 @@ func TestRepartitionWithStorlet(t *testing.T) {
 	conn, d := fixture(t)
 	task := &pushdown.Task{Filter: csvfilter.FilterName, Schema: meterSchema, Columns: []string{"vid"}}
 	r := FromObjects(conn, "meters", "").WithStorlet(task).Repartition(6)
-	splits, err := r.Partitions()
+	splits, err := r.Partitions(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# verify.sh — the repository's verification gate.
+#
+# Runs, in order:
+#   1. go build ./...               every package compiles
+#   2. go vet ./...                 stdlib vet analyzers
+#   3. go run ./cmd/scoop-lint ./...  project analyzers (closebody, errwrap,
+#                                     lockheld, chanleak, ctxpropagate)
+#   4. go test -race ./...          full suite under the race detector
+#
+# Any failure stops the gate. Run it from the repository root (or anywhere
+# inside the module; it cd's to the script's parent directory).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> scoop-lint ./..."
+go run ./cmd/scoop-lint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all gates passed"
