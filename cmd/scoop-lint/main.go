@@ -4,19 +4,22 @@
 //
 // Usage:
 //
-//	scoop-lint [-list] [-only analyzer[,analyzer]] [path ...]
+//	scoop-lint [-list] [-only analyzer[,analyzer]] [-json] [path ...]
 //
 // Each path is a directory tree to analyze; "./..." and bare "." both mean
 // the whole module rooted at the current directory. Findings print as
 //
 //	file:line:col: [analyzer] message
 //
-// and can be suppressed with an inline justification:
+// or, with -json, as a JSON array of {file,line,col,analyzer,message}
+// objects for CI annotation. A clean run prints an analyzer/package summary.
+// Findings can be suppressed with an inline justification:
 //
 //	//lint:ignore <analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +39,7 @@ func main() {
 func run() error {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (machine-readable)")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -64,7 +68,8 @@ func run() error {
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
-	total := 0
+	var diags []lint.Diagnostic
+	packages := 0
 	for _, root := range roots {
 		// Accept the conventional "dir/..." spelling: the loader always
 		// walks the whole subtree.
@@ -76,27 +81,70 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		for _, d := range lint.Run(pkgs, analyzers) {
+		packages += len(pkgs)
+		diags = append(diags, lint.Run(pkgs, analyzers)...)
+	}
+
+	if *jsonOut {
+		if err := printJSON(diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Println(relativize(d))
-			total++
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "scoop-lint: %d finding(s)\n", total)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scoop-lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+	if !*jsonOut {
+		fmt.Printf("scoop-lint: ok — %d analyzers over %d packages, 0 findings\n", len(analyzers), packages)
+	}
 	return nil
+}
+
+// jsonDiag is the machine-readable diagnostic shape emitted by -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printJSON writes all diagnostics as one JSON array on stdout (an empty
+// array on a clean run, so consumers can always parse the output).
+func printJSON(diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		d = relativizeDiag(d)
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // relativize shortens absolute file paths to be relative to the working
 // directory so findings are easy to read and click through.
 func relativize(d lint.Diagnostic) string {
+	return relativizeDiag(d).String()
+}
+
+func relativizeDiag(d lint.Diagnostic) lint.Diagnostic {
 	wd, err := os.Getwd()
 	if err != nil {
-		return d.String()
+		return d
 	}
 	if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 		d.Pos.Filename = rel
 	}
-	return d.String()
+	return d
 }

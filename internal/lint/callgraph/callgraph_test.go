@@ -1,0 +1,178 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// miniSrc is a self-contained module exercising every edge kind: static
+// calls, interface dispatch (CHA), function literals, and go statements.
+const miniSrc = `package mini
+
+type speaker interface{ speak() string }
+
+type dog struct{}
+
+func (dog) speak() string { return bark() }
+
+func bark() string { return "woof" }
+
+type cat struct{}
+
+func (cat) speak() string { return "meow" }
+
+func announce(s speaker) string { return s.speak() }
+
+func chain() string { return announce(dog{}) }
+
+func spawn() { go loop() }
+
+func loop() { helper() }
+
+func helper() {}
+
+func litHolder() func() int {
+	f := func() int { return inner() }
+	return f
+}
+
+func inner() int { return 1 }
+`
+
+func buildMini(t *testing.T) (*Graph, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "mini.go", miniSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("mini", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	g := Build([]*Unit{{Path: "mini", Fset: fset, Files: []*ast.File{file}, Types: pkg, Info: info}})
+	return g, pkg
+}
+
+// fn resolves a package-level function node by name.
+func fn(t *testing.T, g *Graph, pkg *types.Package, name string) *Node {
+	t.Helper()
+	obj, ok := pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %q in mini package", name)
+	}
+	n := g.FuncNode(obj)
+	if n == nil || n.Body == nil {
+		t.Fatalf("function %q has no body node", name)
+	}
+	return n
+}
+
+// method resolves a method node by type and method name.
+func method(t *testing.T, g *Graph, pkg *types.Package, typeName, methodName string) *Node {
+	t.Helper()
+	tn, ok := pkg.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		t.Fatalf("no type %q", typeName)
+	}
+	obj, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg, methodName)
+	m, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("no method %s.%s", typeName, methodName)
+	}
+	n := g.FuncNode(m)
+	if n == nil {
+		t.Fatalf("no node for %s.%s", typeName, methodName)
+	}
+	return n
+}
+
+func TestStaticAndInterfaceReachability(t *testing.T) {
+	g, pkg := buildMini(t)
+	chain := fn(t, g, pkg, "chain")
+	barkN := fn(t, g, pkg, "bark")
+	dogSpeak := method(t, g, pkg, "dog", "speak")
+	catSpeak := method(t, g, pkg, "cat", "speak")
+
+	tree := g.Reach([]*Node{chain}, nil)
+	for _, want := range []*Node{fn(t, g, pkg, "announce"), dogSpeak, catSpeak, barkN} {
+		if _, ok := tree[want]; !ok {
+			t.Errorf("full reach from chain misses %s", want.Name())
+		}
+	}
+	if _, ok := tree[fn(t, g, pkg, "helper")]; ok {
+		t.Errorf("reach from chain should not include helper")
+	}
+
+	// Path through CHA dispatch: chain -> announce -> dog.speak -> bark.
+	path := Path(tree, barkN)
+	if len(path) != 3 {
+		t.Fatalf("Path(chain..bark) = %d edges, want 3", len(path))
+	}
+	if path[0].Callee.Func == nil || path[0].Callee.Func.Name() != "announce" {
+		t.Errorf("path[0] callee = %s, want announce", path[0].Callee.Name())
+	}
+	if path[1].Kind != Impl || path[1].IfacePkg != "mini" {
+		t.Errorf("path[1] = kind %v ifacePkg %q, want Impl dispatch declared in mini", path[1].Kind, path[1].IfacePkg)
+	}
+}
+
+func TestReachFilterExcludesImplEdges(t *testing.T) {
+	g, pkg := buildMini(t)
+	chain := fn(t, g, pkg, "chain")
+	tree := g.Reach([]*Node{chain}, func(e *Edge) bool { return e.Kind != Impl })
+	if _, ok := tree[method(t, g, pkg, "dog", "speak")]; ok {
+		t.Errorf("filtered reach should not cross Impl edges")
+	}
+	// The interface method itself is still visible through the Iface edge.
+	if _, ok := tree[method(t, g, pkg, "speaker", "speak")]; !ok {
+		t.Errorf("filtered reach should still include the interface method node")
+	}
+}
+
+func TestGoFlagAndLiteralEdges(t *testing.T) {
+	g, pkg := buildMini(t)
+
+	spawn := fn(t, g, pkg, "spawn")
+	var goEdge *Edge
+	for _, e := range spawn.Out {
+		if e.Callee.Func != nil && e.Callee.Func.Name() == "loop" {
+			goEdge = e
+		}
+	}
+	if goEdge == nil || !goEdge.Go {
+		t.Fatalf("spawn -> loop edge missing or not marked Go: %+v", goEdge)
+	}
+	if _, ok := g.Reach([]*Node{fn(t, g, pkg, "loop")}, nil)[fn(t, g, pkg, "helper")]; !ok {
+		t.Errorf("loop should reach helper")
+	}
+
+	holder := fn(t, g, pkg, "litHolder")
+	var lit *Node
+	for _, e := range holder.Out {
+		if e.Kind == Lit {
+			lit = e.Callee
+		}
+	}
+	if lit == nil {
+		t.Fatal("litHolder has no Lit edge")
+	}
+	if _, ok := g.Reach([]*Node{holder}, nil)[fn(t, g, pkg, "inner")]; !ok {
+		t.Errorf("litHolder should reach inner through its literal")
+	}
+	if got := lit.Name(); got == "" {
+		t.Errorf("literal node has empty name")
+	}
+}

@@ -22,10 +22,14 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"scoop/internal/lint/callgraph"
 )
 
-// Analyzer is one static check. Run inspects a single type-checked package
-// and reports findings through the pass.
+// Analyzer is one static check. Exactly one of Run and RunModule is set:
+// Run inspects a single type-checked package; RunModule sees every loaded
+// package at once plus the shared whole-module call graph (lockorder,
+// goroleak, sandboxpure).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore directives.
 	Name string
@@ -33,6 +37,8 @@ type Analyzer struct {
 	Doc string
 	// Run executes the analyzer against one package.
 	Run func(*Pass)
+	// RunModule executes the analyzer once over the whole loaded module.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -55,6 +61,42 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries the whole loaded module through one module-level
+// analyzer. The call graph is built once per Run and shared by every module
+// analyzer — with CHA fan-out it is the most expensive artifact the engine
+// produces.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *callgraph.Graph
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Posn renders a position compactly ("file.go:12") for use inside messages
+// that cite a second location.
+func (p *ModulePass) Posn(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	name := position.Filename
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			name = name[i+1:]
+			break
+		}
+	}
+	return fmt.Sprintf("%s:%d", name, position.Line)
+}
+
 // Diagnostic is one finding from one analyzer.
 type Diagnostic struct {
 	Pos      token.Position
@@ -66,7 +108,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzers returns the full suite in a stable order.
+// Analyzers returns the full suite in a stable order: the per-package
+// analyzers first, then the whole-module (call-graph) analyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerCloseBody,
@@ -74,15 +117,35 @@ func Analyzers() []*Analyzer {
 		AnalyzerLockHeld,
 		AnalyzerChanLeak,
 		AnalyzerCtxPropagate,
+		AnalyzerLockOrder,
+		AnalyzerGoroLeak,
+		AnalyzerSandboxPure,
 	}
+}
+
+// BuildGraph constructs the whole-module call graph for loaded packages.
+// Exposed so callers (benchmarks, future tooling) can build it without
+// running an analyzer.
+func BuildGraph(pkgs []*Package) *callgraph.Graph {
+	units := make([]*callgraph.Unit, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = &callgraph.Unit{Path: p.Path, Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}
+	}
+	return callgraph.Build(units)
 }
 
 // Run executes the given analyzers over the given packages and returns all
 // diagnostics not suppressed by an ignore directive, sorted by position.
+// Packages are loaded and type-checked once (by Load) and shared by every
+// analyzer; likewise the call graph is built at most once per Run and shared
+// by every module-level analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -93,6 +156,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
+	}
+	var graph *callgraph.Graph
+	for _, a := range analyzers {
+		if a.RunModule == nil || len(pkgs) == 0 {
+			continue
+		}
+		if graph == nil {
+			graph = BuildGraph(pkgs)
+		}
+		a.RunModule(&ModulePass{
+			Analyzer: a,
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			diags:    &diags,
+		})
+	}
+	for _, pkg := range pkgs {
 		diags = filterIgnored(pkg, diags)
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package from the module under analysis.
@@ -27,12 +28,30 @@ type Package struct {
 	imports []string
 }
 
+// Loading shares one FileSet and one std-library source importer across
+// every Load call in the process: the standard library is parsed and
+// type-checked once, not once per root. Before the call-graph layer this was
+// a convenience; with graph construction on top, Load is the gate's hot path
+// (see BenchmarkLoad*), and re-checking ~100 std packages per root dominated
+// everything else. The mutex serializes Load — go/types check state and the
+// importer cache are not safe for concurrent use.
+var (
+	loadMu   sync.Mutex
+	loadFset = token.NewFileSet()
+	loadStd  types.Importer
+)
+
 // Load parses and type-checks every package under root (a module root or a
 // subtree of one). Test files (*_test.go) are excluded: the analyzers target
 // production request-path code, and test helpers intentionally discard errors
 // and leak readers on purpose. Std-library dependencies are type-checked from
-// source via go/importer, so no compiled export data is required.
+// source via go/importer, so no compiled export data is required. Each
+// package is loaded and type-checked exactly once per call and the result is
+// shared by every analyzer that Run executes.
 func Load(root string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -42,7 +61,10 @@ func Load(root string) ([]*Package, error) {
 		return nil, err
 	}
 
-	fset := token.NewFileSet()
+	fset := loadFset
+	if loadStd == nil {
+		loadStd = importer.ForCompiler(fset, "source", nil)
+	}
 	pkgs := map[string]*Package{}
 	walkErr := filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -74,7 +96,7 @@ func Load(root string) ([]*Package, error) {
 	}
 
 	imp := &moduleImporter{
-		std:  importer.ForCompiler(fset, "source", nil),
+		std:  loadStd,
 		pkgs: pkgs,
 	}
 	for _, pkg := range ordered {

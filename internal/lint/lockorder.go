@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"scoop/internal/lint/callgraph"
+)
+
+// AnalyzerLockOrder detects potential AB/BA deadlocks across the whole
+// module: it records, for every function, which mutexes may be acquired
+// while another is already held — including acquisitions buried several
+// static calls deep — builds a global acquisition-order graph keyed by the
+// types.Object of each lock (a struct field or package-level variable), and
+// reports every cycle with both acquisition paths. The proxy registry,
+// per-node state, storlet engine and adaptive controller each guard hot
+// request-path state with their own mutex; one inverted pair under load
+// freezes the whole GET/PUT pipeline, which no amount of dynamic testing
+// reliably catches.
+//
+// Identity is per lock *field*, not per instance: locking a.mu then b.mu of
+// two values of the same struct maps to a single graph node. That
+// over-approximates (two sibling instances never deadlock with each other
+// alone) but matches the usual "one global order per lock field" discipline;
+// self-edges are therefore not reported.
+var AnalyzerLockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex pairs must be acquired in one global order (AB/BA deadlock cycles)",
+	RunModule: runLockOrder,
+}
+
+// lockAcq is one (possibly transitive) acquisition a function can perform:
+// the lock object plus the chain of call/lock sites leading to it. sites[0]
+// is in the function itself; the last element is the Lock() call.
+type lockAcq struct {
+	obj   types.Object
+	sites []token.Pos
+	// chain names the functions the acquisition passes through (callee of
+	// each call site), ending at the locking function. Empty for a direct
+	// acquisition.
+	chain []string
+	// expr renders the receiver at the final Lock() site, e.g. "e.mu".
+	expr string
+}
+
+// lockEdge is one observed ordering: `to` acquired while `from` was held.
+type lockEdge struct {
+	from, to types.Object
+	// heldAt is the Lock() site of `from`; acq describes how `to` was then
+	// reached from inside the held region.
+	heldAt token.Pos
+	acq    lockAcq
+	fn     string
+}
+
+func runLockOrder(pass *ModulePass) {
+	// Per-node direct acquisitions, then a fixpoint over static call edges
+	// for the transitive set each function may acquire.
+	direct := map[*callgraph.Node][]lockAcq{}
+	for _, n := range pass.Graph.Nodes() {
+		direct[n] = directLockAcqs(pass, n)
+	}
+	trans := transitiveAcqs(pass.Graph, direct)
+
+	// Scan every held region for acquisitions of *other* locks.
+	var edges []lockEdge
+	for _, n := range pass.Graph.Nodes() {
+		edges = append(edges, heldRegionEdges(pass, n, trans)...)
+	}
+
+	// Keep one witness per ordered pair (the earliest), then report cycles.
+	byPair := map[[2]types.Object]lockEdge{}
+	for _, e := range edges {
+		key := [2]types.Object{e.from, e.to}
+		if prev, ok := byPair[key]; !ok || e.heldAt < prev.heldAt {
+			byPair[key] = e
+		}
+	}
+	reportLockCycles(pass, byPair)
+}
+
+// directLockAcqs lists the Lock/RLock call sites in n's own body (nested
+// literals excluded: they run on their own schedule).
+func directLockAcqs(pass *ModulePass, n *callgraph.Node) []lockAcq {
+	var out []lockAcq
+	info := n.Unit.Info
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj, expr, ok := lockAcquisition(info, call)
+		if !ok {
+			return true
+		}
+		out = append(out, lockAcq{obj: obj, sites: []token.Pos{call.Pos()}, expr: expr})
+		return true
+	})
+	return out
+}
+
+// lockAcquisition reports whether call is sync.(*Mutex).Lock /
+// (*RWMutex).Lock / (*RWMutex).RLock on a resolvable lock object (struct
+// field or variable).
+func lockAcquisition(info *types.Info, call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	if fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return nil, "", false
+	}
+	obj := lockObject(info, sel.X)
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, types.ExprString(sel.X), true
+}
+
+// lockObject resolves the receiver expression of a Lock call to the object
+// identifying the lock: a struct field (all instances collapse to the field)
+// or a plain variable.
+func lockObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj() // field selection: x.mu, x.y.mu
+		}
+		return info.Uses[e.Sel] // package-qualified: pkg.mu
+	}
+	return nil
+}
+
+// transitiveAcqs propagates acquisition summaries over static call edges to
+// a fixpoint: acq(f) = direct(f) ∪ { callSite + acq(g) | f statically calls
+// g }. Only the shortest witness per lock object is kept. Interface dispatch
+// is not followed — CHA fan-out would claim nearly every lock is reachable
+// from every call site and drown real inversions in noise.
+func transitiveAcqs(g *callgraph.Graph, direct map[*callgraph.Node][]lockAcq) map[*callgraph.Node]map[types.Object]lockAcq {
+	acqs := map[*callgraph.Node]map[types.Object]lockAcq{}
+	nodes := g.Nodes()
+	for _, n := range nodes {
+		m := map[types.Object]lockAcq{}
+		for _, a := range direct[n] {
+			if prev, ok := m[a.obj]; !ok || len(a.sites) < len(prev.sites) {
+				m[a.obj] = a
+			}
+		}
+		acqs[n] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			for _, e := range n.Out {
+				if e.Kind != callgraph.Static || e.Go || e.Callee.Body == nil {
+					continue
+				}
+				for obj, a := range acqs[e.Callee] {
+					lifted := lockAcq{
+						obj:   obj,
+						sites: append([]token.Pos{e.Site}, a.sites...),
+						chain: append([]string{calleeName(e)}, a.chain...),
+						expr:  a.expr,
+					}
+					if prev, ok := acqs[n][obj]; !ok || len(lifted.sites) < len(prev.sites) {
+						acqs[n][obj] = lifted
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acqs
+}
+
+func calleeName(e *callgraph.Edge) string {
+	if e.Callee.Func != nil {
+		return e.Callee.Func.Name()
+	}
+	return "func literal"
+}
+
+// heldRegionEdges scans n's body for lock-held regions and returns an
+// ordering edge for every other lock acquirable inside one. The region model
+// matches lockheld: a Lock() at one statement-list level holds until the
+// matching same-level Unlock, or to the end of the list when the unlock is
+// deferred or absent.
+func heldRegionEdges(pass *ModulePass, n *callgraph.Node, trans map[*callgraph.Node]map[types.Object]lockAcq) []lockEdge {
+	var edges []lockEdge
+	info := n.Unit.Info
+	var scanList func(list []ast.Stmt)
+	scanList = func(list []ast.Stmt) {
+		for i, stmt := range list {
+			held, ok := lockStmt(info, stmt, "Lock", "RLock")
+			if !ok {
+				continue
+			}
+			end := len(list)
+			for j := i + 1; j < len(list); j++ {
+				if _, isDefer := list[j].(*ast.DeferStmt); isDefer {
+					continue
+				}
+				if rel, ok := lockStmt(info, list[j], "Unlock", "RUnlock"); ok && rel.obj == held.obj && rel.expr == held.expr {
+					end = j
+					break
+				}
+			}
+			for _, inner := range list[i+1 : end] {
+				if _, isDefer := inner.(*ast.DeferStmt); isDefer {
+					continue
+				}
+				edges = append(edges, regionAcqs(pass, n, info, inner, held, trans)...)
+			}
+		}
+	}
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if list := stmtList(x); list != nil {
+			scanList(list)
+		}
+		return true
+	})
+	return edges
+}
+
+// heldLock describes one active Lock() statement.
+type heldLock struct {
+	obj  types.Object
+	expr string
+	pos  token.Pos
+}
+
+// lockStmt matches a plain or deferred sync lock-method call statement.
+func lockStmt(info *types.Info, stmt ast.Stmt, names ...string) (heldLock, bool) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return heldLock{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return heldLock{}, false
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return heldLock{}, false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			obj := lockObject(info, sel.X)
+			if obj == nil {
+				return heldLock{}, false
+			}
+			return heldLock{obj: obj, expr: types.ExprString(sel.X), pos: call.Pos()}, true
+		}
+	}
+	return heldLock{}, false
+}
+
+// regionAcqs finds every lock other than `held` acquirable inside one held
+// statement: directly, or transitively through a static call.
+func regionAcqs(pass *ModulePass, n *callgraph.Node, info *types.Info, stmt ast.Stmt, held heldLock, trans map[*callgraph.Node]map[types.Object]lockAcq) []lockEdge {
+	var out []lockEdge
+	ast.Inspect(stmt, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // literals run outside the held region (goroutines, callbacks)
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, expr, ok := lockAcquisition(info, call); ok {
+			if obj != held.obj {
+				out = append(out, lockEdge{
+					from:   held.obj,
+					to:     obj,
+					heldAt: held.pos,
+					acq:    lockAcq{obj: obj, sites: []token.Pos{call.Pos()}, expr: expr},
+					fn:     nodeName(n),
+				})
+			}
+			return true
+		}
+		fn := staticCallee(info, call)
+		if fn == nil {
+			return true
+		}
+		callee := pass.Graph.FuncNode(fn)
+		if callee == nil || callee.Body == nil {
+			return true
+		}
+		for obj, a := range trans[callee] {
+			if obj == held.obj {
+				continue // self-edges: instance conflation, skip
+			}
+			out = append(out, lockEdge{
+				from:   held.obj,
+				to:     obj,
+				heldAt: held.pos,
+				acq: lockAcq{
+					obj:   obj,
+					sites: append([]token.Pos{call.Pos()}, a.sites...),
+					chain: append([]string{fn.Name()}, a.chain...),
+					expr:  a.expr,
+				},
+				fn: nodeName(n),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func nodeName(n *callgraph.Node) string {
+	if n.Func != nil {
+		return n.Func.Name()
+	}
+	return "func literal"
+}
+
+// reportLockCycles finds cycles in the acquisition-order graph and reports
+// each once, citing both (all) acquisition paths.
+func reportLockCycles(pass *ModulePass, byPair map[[2]types.Object]lockEdge) {
+	// Adjacency over lock objects, deterministic order via witness position.
+	adj := map[types.Object][]lockEdge{}
+	for _, e := range byPair {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	var locks []types.Object
+	for obj := range adj {
+		locks = append(locks, obj)
+	}
+	sort.Slice(locks, func(i, j int) bool { return adj[locks[i]][0].heldAt < adj[locks[j]][0].heldAt })
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].heldAt < es[j].heldAt })
+	}
+
+	reported := map[string]bool{}
+	// state: 0 unvisited, 1 on stack, 2 done — per DFS root, standard
+	// coloring with cycle extraction from the active path.
+	for _, root := range locks {
+		state := map[types.Object]int{}
+		var path []lockEdge
+		var dfs func(obj types.Object)
+		dfs = func(obj types.Object) {
+			state[obj] = 1
+			for _, e := range adj[obj] {
+				switch state[e.to] {
+				case 0:
+					path = append(path, e)
+					dfs(e.to)
+					path = path[:len(path)-1]
+				case 1:
+					// Cycle: the active path from e.to back to obj, plus e.
+					var cyc []lockEdge
+					for i := len(path) - 1; i >= 0; i-- {
+						cyc = append([]lockEdge{path[i]}, cyc...)
+						if path[i].from == e.to {
+							break
+						}
+					}
+					cyc = append(cyc, e)
+					reportCycle(pass, cyc, reported)
+				}
+			}
+			state[obj] = 2
+		}
+		if state[root] == 0 {
+			dfs(root)
+		}
+	}
+}
+
+// reportCycle emits one diagnostic per distinct lock cycle, at the witness
+// of the edge with the earliest position.
+func reportCycle(pass *ModulePass, cyc []lockEdge, reported map[string]bool) {
+	if len(cyc) == 0 {
+		return
+	}
+	// Canonical key: the sorted set of member positions.
+	var keyParts []string
+	for _, e := range cyc {
+		keyParts = append(keyParts, pass.Posn(e.heldAt))
+	}
+	sort.Strings(keyParts)
+	key := strings.Join(keyParts, "|")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+
+	rep := cyc[0]
+	for _, e := range cyc[1:] {
+		if e.acq.sites[len(e.acq.sites)-1] < rep.acq.sites[len(rep.acq.sites)-1] {
+			rep = e
+		}
+	}
+	var legs []string
+	for _, e := range cyc {
+		legs = append(legs, describeEdge(pass, e))
+	}
+	pass.Reportf(rep.acq.sites[0], "lock order cycle: %s; one global acquisition order breaks the deadlock", strings.Join(legs, " vs "))
+}
+
+// describeEdge renders one ordering leg: where the first lock was held and
+// how the second was then acquired.
+func describeEdge(pass *ModulePass, e lockEdge) string {
+	via := ""
+	if len(e.acq.chain) > 0 {
+		via = " via " + strings.Join(e.acq.chain, " -> ")
+	}
+	return fmt.Sprintf("%s acquires %s%s while holding %s (locked at %s)",
+		e.fn, e.acq.expr, via, lockName(e.from), pass.Posn(e.heldAt))
+}
+
+// lockName renders a lock object for messages: its field or variable name.
+func lockName(obj types.Object) string {
+	if obj == nil {
+		return "?"
+	}
+	return obj.Name()
+}

@@ -1,0 +1,98 @@
+// Package lockorder holds known-good and known-bad lock-acquisition shapes
+// for the lockorder analyzer: every mutex pair must be acquired in one
+// global order.
+package lockorder
+
+import "sync"
+
+// pair demonstrates the direct AB/BA inversion inside two functions.
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (p *pair) abOrder() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want:lockorder lock order cycle
+	p.n++
+	p.b.Unlock()
+}
+
+func (p *pair) baOrder() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.n--
+	p.a.Unlock()
+}
+
+// goodSequential releases b before taking a: no ordering edge, no cycle.
+func (p *pair) goodSequential() {
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Lock()
+	p.n--
+	p.a.Unlock()
+}
+
+// svc/queue demonstrate the inversion hidden behind method calls: neither
+// function locks two mutexes itself, but the call graph does.
+type svc struct {
+	mu sync.Mutex
+	q  *queue
+}
+
+type queue struct {
+	mu    sync.Mutex
+	owner *svc
+	items []int
+}
+
+func (s *svc) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.q.drain() // want:lockorder lock order cycle
+}
+
+func (q *queue) drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = q.items[:0]
+}
+
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+	q.owner.wake()
+}
+
+func (s *svc) wake() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// consistent always takes x before y: two edges in the same direction form
+// no cycle.
+type consistent struct {
+	x, y sync.Mutex
+	n    int
+}
+
+func (c *consistent) first() {
+	c.x.Lock()
+	defer c.x.Unlock()
+	c.y.Lock()
+	c.n++
+	c.y.Unlock()
+}
+
+func (c *consistent) second() {
+	c.x.Lock()
+	c.y.Lock()
+	c.n--
+	c.y.Unlock()
+	c.x.Unlock()
+}

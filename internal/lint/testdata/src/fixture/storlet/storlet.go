@@ -1,0 +1,39 @@
+// Package storlet is a miniature stand-in for the real engine: just enough
+// surface (Engine.Register, Filter, FilterFunc) for the sandboxpure analyzer
+// to seed from. The analyzer locates it by its "/storlet" path suffix.
+package storlet
+
+// Context carries per-invocation information to a filter.
+type Context struct{}
+
+// Filter mirrors the real storlet.Filter shape.
+type Filter interface {
+	Name() string
+	Invoke(ctx *Context, in []byte) ([]byte, error)
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc struct {
+	FilterName string
+	Fn         func(ctx *Context, in []byte) ([]byte, error)
+}
+
+// Name implements Filter.
+func (f FilterFunc) Name() string { return f.FilterName }
+
+// Invoke implements Filter.
+func (f FilterFunc) Invoke(ctx *Context, in []byte) ([]byte, error) { return f.Fn(ctx, in) }
+
+// Engine is the filter registry.
+type Engine struct {
+	filters map[string]Filter
+}
+
+// Register deploys a filter.
+func (e *Engine) Register(f Filter) error {
+	if e.filters == nil {
+		e.filters = make(map[string]Filter)
+	}
+	e.filters[f.Name()] = f
+	return nil
+}

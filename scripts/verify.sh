@@ -4,8 +4,10 @@
 # Runs, in order:
 #   1. go build ./...               every package compiles
 #   2. go vet ./...                 stdlib vet analyzers
-#   3. go run ./cmd/scoop-lint ./...  project analyzers (closebody, errwrap,
-#                                     lockheld, chanleak, ctxpropagate)
+#   3. go run ./cmd/scoop-lint ./...  project analyzers — per-package
+#                                     (closebody, errwrap, lockheld, chanleak,
+#                                     ctxpropagate) and whole-module call-graph
+#                                     (lockorder, goroleak, sandboxpure)
 #   4. go test -race ./...          full suite under the race detector
 #
 # Any failure stops the gate. Run it from the repository root (or anywhere
