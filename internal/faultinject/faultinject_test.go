@@ -1,0 +1,260 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"scoop/internal/objectstore"
+)
+
+func TestScheduleSequencingAndWindows(t *testing.T) {
+	s := NewSchedule(
+		Rule{From: 2, To: 3, Fault: Fault{Kind: ConnError}},         // only request 2
+		Rule{From: 5, Op: OpPut, Fault: Fault{Kind: Blackout}},      // request 5 onward, PUTs only
+		Rule{From: 4, To: 5, Op: OpGet, Fault: Fault{Kind: Status}}, // request 4, GETs only
+	)
+	type step struct {
+		op   Op
+		want *Kind
+	}
+	k := func(kk Kind) *Kind { return &kk }
+	steps := []step{
+		{OpGet, nil},          // 1
+		{OpGet, k(ConnError)}, // 2
+		{OpGet, nil},          // 3
+		{OpGet, k(Status)},    // 4
+		{OpGet, nil},          // 5: rule is PUT-only
+		{OpPut, k(Blackout)},  // 6: open-ended window
+		{OpPut, k(Blackout)},  // 7
+	}
+	for i, st := range steps {
+		f := s.Next(st.op, "/a/c/o")
+		if (f == nil) != (st.want == nil) {
+			t.Fatalf("step %d (%s): fault = %v, want %v", i+1, st.op, f, st.want)
+		}
+		if f != nil && f.Kind != *st.want {
+			t.Fatalf("step %d: kind = %s, want %s", i+1, f.Kind, *st.want)
+		}
+	}
+	if s.Requests() != uint64(len(steps)) {
+		t.Errorf("Requests = %d, want %d", s.Requests(), len(steps))
+	}
+	inj := s.Injected()
+	if inj["conn_error"] != 1 || inj["status"] != 1 || inj["blackout"] != 2 {
+		t.Errorf("Injected = %v", inj)
+	}
+	if s.InjectedTotal() != 4 {
+		t.Errorf("InjectedTotal = %d, want 4", s.InjectedTotal())
+	}
+}
+
+func TestSchedulePathMatch(t *testing.T) {
+	s := NewSchedule(Rule{PathSubstr: "/meters/", Fault: Fault{Kind: ConnError}})
+	if f := s.Next(OpGet, "/gp/other/x"); f != nil {
+		t.Error("rule matched a path without the substring")
+	}
+	if f := s.Next(OpGet, "/gp/meters/part-0"); f == nil {
+		t.Error("rule missed a matching path")
+	}
+}
+
+func TestNilScheduleInjectsNothing(t *testing.T) {
+	var s *Schedule
+	if f := s.Next(OpGet, "/x"); f != nil {
+		t.Fatal("nil schedule injected a fault")
+	}
+	if s.Requests() != 0 || s.Injected() != nil || s.InjectedTotal() != 0 {
+		t.Fatal("nil schedule reported activity")
+	}
+}
+
+// TestGenerateDeterminism is the seeding contract: same seed, same script.
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := GenConfig{Horizon: 200, Faults: 25}
+	a := Generate(42, cfg)
+	b := Generate(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Generate(43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	if len(a) != 25 {
+		t.Fatalf("generated %d rules, want 25", len(a))
+	}
+	for i, r := range a {
+		if r.From < 1 || r.From > 200 || r.To != r.From+1 {
+			t.Errorf("rule %d window [%d,%d) outside horizon", i, r.From, r.To)
+		}
+		if r.Fault.Kind == Status && r.Fault.Status < 400 {
+			t.Errorf("rule %d status fault with status %d", i, r.Fault.Status)
+		}
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	const payload = "0123456789abcdef"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "16")
+		_, _ = io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	sched := NewSchedule(
+		Rule{From: 1, To: 2, Fault: Fault{Kind: ConnError}},
+		Rule{From: 2, To: 3, Fault: Fault{Kind: Status, Status: 503}},
+		Rule{From: 3, To: 4, Fault: Fault{Kind: Truncate, AfterBytes: 4}},
+		Rule{From: 4, To: 5, Fault: Fault{Kind: Latency, Delay: time.Hour}},
+	)
+	var slept time.Duration
+	client := &http.Client{Transport: &Transport{
+		Schedule: sched,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = d
+			return nil
+		},
+	}}
+
+	// 1: connection error, wrapped in *url.Error by the client.
+	_, err := client.Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected conn error, got %v", err)
+	}
+	// 2: synthesized 503 with a readable body.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || !strings.Contains(string(body), "injected") {
+		t.Fatalf("want injected 503, got %d %q", resp.StatusCode, body)
+	}
+	// 3: truncation after 4 bytes with intact Content-Length.
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != payload[:4] {
+		t.Fatalf("truncated body = %q, want %q", body, payload[:4])
+	}
+	if !errors.Is(rerr, ErrTruncated) || !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation error = %v, want ErrTruncated wrapping ErrUnexpectedEOF", rerr)
+	}
+	if resp.ContentLength != 16 {
+		t.Errorf("ContentLength = %d, want the server's 16", resp.ContentLength)
+	}
+	// 4: latency via the injected sleeper, then a clean response.
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if slept != time.Hour || string(body) != payload {
+		t.Fatalf("latency fault: slept %v body %q", slept, body)
+	}
+	// 5: schedule exhausted, traffic flows clean.
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-schedule status = %d", resp.StatusCode)
+	}
+}
+
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	sched := NewSchedule(Rule{Fault: Fault{Kind: Latency, Delay: time.Hour}})
+	client := &http.Client{Transport: &Transport{Schedule: sched}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://127.0.0.1:0/never", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatal("cancelled latency fault returned no error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled latency fault actually slept")
+	}
+}
+
+func TestStoreFaults(t *testing.T) {
+	ctx := context.Background()
+	inner := objectstore.NewMemStore()
+	info := objectstore.ObjectInfo{Account: "a", Container: "c", Name: "o"}
+	if _, err := inner.Put(ctx, info, strings.NewReader("hello world")); err != nil {
+		t.Fatal(err)
+	}
+
+	sched := NewSchedule(
+		Rule{From: 1, To: 2, Op: OpGet, Fault: Fault{Kind: ConnError}},
+		Rule{From: 2, To: 3, Op: OpGet, Fault: Fault{Kind: Truncate, AfterBytes: 5}},
+		Rule{From: 4, To: 5, Op: OpPut, Fault: Fault{Kind: Truncate, AfterBytes: 3}},
+		Rule{From: 5, To: 0, Op: OpPut, Fault: Fault{Kind: Blackout}},
+	)
+	fs := &Store{Inner: inner, Schedule: sched, Node: "object-00"}
+
+	// 1: GET fails outright.
+	if _, _, err := fs.Get(ctx, info.Path(), 0, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected GET failure, got %v", err)
+	}
+	// 2: GET truncates after 5 bytes.
+	rc, gi, err := fs.Get(ctx, info.Path(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rerr := io.ReadAll(rc)
+	rc.Close()
+	if string(data) != "hello" || !errors.Is(rerr, ErrTruncated) {
+		t.Fatalf("truncated GET = %q, %v", data, rerr)
+	}
+	if gi.Size != 11 {
+		t.Errorf("info.Size = %d, want the stored 11", gi.Size)
+	}
+	// 3: clean GET.
+	rc, _, err = fs.Get(ctx, info.Path(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rerr = io.ReadAll(rc)
+	rc.Close()
+	if string(data) != "hello world" || rerr != nil {
+		t.Fatalf("clean GET = %q, %v", data, rerr)
+	}
+	// 4: PUT with a cut upload stream fails inside the inner store.
+	if _, err := fs.Put(ctx, info, strings.NewReader("replacement")); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want truncated PUT failure, got %v", err)
+	}
+	// 5+: blackout window fails every PUT.
+	for i := 0; i < 2; i++ {
+		if _, err := fs.Put(ctx, info, strings.NewReader("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("blackout PUT %d: %v", i, err)
+		}
+	}
+	// The object survived every injected failure untouched.
+	rc, _, err = inner.Get(ctx, info.Path(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(rc)
+	rc.Close()
+	if string(data) != "hello world" {
+		t.Fatalf("stored object corrupted: %q", data)
+	}
+}

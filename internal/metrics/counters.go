@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter — the event-count
+// side of the collectd analog (the Collector's gauges are the sampled side).
+// The data path uses counters to make every recovery action observable:
+// retries, replica failovers, quorum degradations, injected faults.
+//
+// A nil *Counter is a valid no-op sink, so instrumented code never has to
+// guard the "metrics disabled" case.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n may be negative only for test rollbacks; production callers
+// should treat counters as monotonic).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value; 0 on a nil counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Float returns the value as float64, in the shape Collector gauges expect.
+func (c *Counter) Float() float64 { return float64(c.Load()) }
+
+// Registry is a get-or-create set of named counters shared across a
+// deployment tier (one per Cluster, one per HTTP client). A nil *Registry
+// hands out nil counters, so wiring metrics is always optional.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty counter registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// CounterNames lists the registered counters, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bind registers every counter that exists right now as a gauge on the
+// collector, so the background sampler picks counters up alongside the
+// utilization gauges. Counters created after Bind must be bound again.
+func (r *Registry) Bind(c *Collector) error {
+	if r == nil {
+		return nil
+	}
+	for _, name := range r.CounterNames() {
+		if err := c.Register(name, r.Counter(name).Float); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"scoop/internal/metrics"
 	"scoop/internal/ring"
 	"scoop/internal/storlet"
 )
@@ -24,6 +25,12 @@ type ClusterConfig struct {
 	// DataDir, when set, backs each object node with an on-disk store under
 	// DataDir/<node-name> instead of memory (scoopd persistence).
 	DataDir string
+	// WriteQuorum is the minimum replica writes for a successful PUT;
+	// 0 means majority of Replicas (2 of 3 at the default shape).
+	WriteQuorum int
+	// StoreWrap, when set, wraps each node's storage engine at construction
+	// — the seam the chaos suite uses to inject per-node faults.
+	StoreWrap func(node string, s Store) Store
 }
 
 // DefaultClusterConfig returns a small cluster with the testbed's shape.
@@ -47,6 +54,7 @@ type Cluster struct {
 	proxies []*Proxy
 	engine  *storlet.Engine
 	reg     *Registry
+	metrics *metrics.Registry
 
 	next    atomic.Uint64
 	lbBytes atomic.Int64
@@ -71,21 +79,27 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	engine := storlet.NewEngine(cfg.Limits)
-	c := &Cluster{cfg: cfg, ring: rg, engine: engine, nodeMap: make(map[string]*Node), reg: NewRegistry()}
+	c := &Cluster{
+		cfg: cfg, ring: rg, engine: engine,
+		nodeMap: make(map[string]*Node), reg: NewRegistry(),
+		metrics: metrics.NewRegistry(),
+	}
 	for i := 0; i < cfg.ObjectNodes; i++ {
 		name := fmt.Sprintf("object-%02d", i)
-		var node *Node
+		var store Store = NewMemStore()
 		if cfg.DataDir != "" {
 			// Cluster construction is a startup step, not a request; the
 			// index rebuild runs unbounded.
-			store, err := NewDiskStore(context.Background(), filepath.Join(cfg.DataDir, name))
+			ds, err := NewDiskStore(context.Background(), filepath.Join(cfg.DataDir, name))
 			if err != nil {
 				return nil, err
 			}
-			node = NewNodeWithStore(name, store, engine)
-		} else {
-			node = NewNode(name, engine)
+			store = ds
 		}
+		if cfg.StoreWrap != nil {
+			store = cfg.StoreWrap(name, store)
+		}
+		node := NewNodeWithStore(name, store, engine)
 		c.nodes = append(c.nodes, node)
 		c.nodeMap[name] = node
 		for d := 0; d < cfg.DisksPerNode; d++ {
@@ -103,9 +117,41 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	for i := 0; i < cfg.Proxies; i++ {
-		c.proxies = append(c.proxies, NewProxy(fmt.Sprintf("proxy-%02d", i), rg, c.nodeMap, engine, c.reg))
+		p := NewProxy(fmt.Sprintf("proxy-%02d", i), rg, c.nodeMap, engine, c.reg)
+		p.SetMetrics(c.metrics)
+		p.SetWriteQuorum(cfg.WriteQuorum)
+		c.proxies = append(c.proxies, p)
 	}
 	return c, nil
+}
+
+// Metrics returns the cluster's shared recovery-counter registry (failover,
+// resume, quorum and repair counts across all proxies).
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
+
+// RepairRecords aggregates the pending repair queues of every proxy.
+func (c *Cluster) RepairRecords() []RepairRecord {
+	var out []RepairRecord
+	for _, p := range c.proxies {
+		out = append(out, p.RepairRecords()...)
+	}
+	return out
+}
+
+// RunRepairs drains every proxy's repair queue (the in-process stand-in for
+// Swift's object-replicator pass), returning the total records repaired and
+// the first error.
+func (c *Cluster) RunRepairs(ctx context.Context) (int, error) {
+	total := 0
+	var firstErr error
+	for _, p := range c.proxies {
+		n, err := p.RunRepairs(ctx)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
 }
 
 // Engine returns the cluster's storlet engine for deploying filters.
@@ -146,6 +192,7 @@ func (c *Cluster) NodeStatsTotal() NodeStats {
 		total.FilterTime += s.FilterTime
 		total.Requests += s.Requests
 		total.FilteredRequests += s.FilteredRequests
+		total.Errors += s.Errors
 	}
 	return total
 }

@@ -1,0 +1,136 @@
+package objectstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// peekFirst forces a replica's stream to produce its first byte (or a clean
+// EOF) before the proxy commits to it, converting open-then-fail streams —
+// a node that accepts the request and dies before sending anything — into
+// failures the replica loop can still route around. The peeked byte is
+// replayed to the caller, so the stream is byte-identical.
+func peekFirst(rc io.ReadCloser) (io.ReadCloser, error) {
+	var b [1]byte
+	for {
+		n, err := rc.Read(b[:])
+		if n > 0 {
+			var pending error
+			if err != nil {
+				pending = err
+			}
+			return &prefixed{pre: []byte{b[0]}, rc: rc, pending: pending}, nil
+		}
+		if err == nil {
+			continue // legal zero-byte read; ask again
+		}
+		if errors.Is(err, io.EOF) {
+			return &prefixed{rc: rc, pending: io.EOF}, nil
+		}
+		return nil, err
+	}
+}
+
+// prefixed replays peeked bytes before handing Reads through to the
+// underlying stream, preserving any error the peek observed after them.
+type prefixed struct {
+	pre     []byte
+	off     int
+	rc      io.ReadCloser
+	pending error
+}
+
+func (p *prefixed) Read(b []byte) (int, error) {
+	if p.off < len(p.pre) {
+		n := copy(b, p.pre[p.off:])
+		p.off += n
+		return n, nil
+	}
+	if p.pending != nil {
+		return 0, p.pending
+	}
+	return p.rc.Read(b)
+}
+
+func (p *prefixed) Close() error { return p.rc.Close() }
+
+// replicaStream is the proxy's mid-stream failover for plain (unfiltered)
+// object reads: when a replica's stream fails after its first byte — node
+// crash, disk error, injected truncation — the remaining replicas are tried
+// from the current byte offset, so the failure is invisible to the client
+// and the delivered stream stays byte-identical. Short EOFs count as
+// failures too: the expected length is known (end - start), which is what
+// catches truncation that arrives as a polite EOF.
+//
+// Filtered (storlet) streams never get this wrapper: a filter's output is
+// not byte-addressable, so re-entering it at an offset would be exactly the
+// non-idempotent retry the storlet path must avoid.
+type replicaStream struct {
+	ctx   context.Context
+	p     *Proxy
+	nodes []*Node
+	idx   int // replica currently being read
+	path  string
+	rc    io.ReadCloser
+	off   int64 // next absolute object offset
+	end   int64 // absolute end offset (exclusive)
+	err   error // sticky terminal error
+}
+
+func (s *replicaStream) Read(b []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	for {
+		n, err := s.rc.Read(b)
+		s.off += int64(n)
+		if err == nil {
+			return n, nil
+		}
+		if errors.Is(err, io.EOF) && s.off >= s.end {
+			return n, io.EOF
+		}
+		// Delivered bytes go out first; the next Read continues from the
+		// replacement replica or surfaces the terminal error.
+		if ferr := s.failover(err); ferr != nil {
+			s.err = ferr
+			if n > 0 {
+				return n, nil
+			}
+			return 0, ferr
+		}
+		if n > 0 {
+			return n, nil
+		}
+	}
+}
+
+// failover closes the broken stream and reopens [off, end) on the next
+// replica that can produce a first byte.
+func (s *replicaStream) failover(cause error) error {
+	s.rc.Close()
+	s.rc = brokenBody{}
+	for s.idx++; s.idx < len(s.nodes); s.idx++ {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+		rc, _, err := s.nodes[s.idx].Get(s.ctx, s.path, s.off, s.end, nil)
+		if err != nil {
+			continue
+		}
+		pk, perr := peekFirst(rc)
+		if perr != nil {
+			rc.Close()
+			continue
+		}
+		s.rc = pk
+		s.p.count("proxy.get.resumes")
+		return nil
+	}
+	return fmt.Errorf("objectstore: read %s failed at offset %d and no replica could resume: %w",
+		s.path, s.off, cause)
+}
+
+func (s *replicaStream) Close() error { return s.rc.Close() }

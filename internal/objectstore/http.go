@@ -194,9 +194,17 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, account, c
 		w.Header().Set("ETag", info.ETag)
 		setMetaHeaders(w.Header(), info.Meta)
 		// Filtered responses have unknown length; stream chunked. Plain
-		// full-object GETs can set Content-Length.
-		if len(opts.Pushdown) == 0 && opts.RangeStart == 0 && opts.RangeEnd <= 0 {
-			w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+		// streams — full or ranged — have a known length, and advertising
+		// it is what lets the client detect mid-stream truncation and
+		// resume from the break.
+		if len(opts.Pushdown) == 0 {
+			end := opts.RangeEnd
+			if end <= 0 || end > info.Size {
+				end = info.Size
+			}
+			if n := end - opts.RangeStart; n >= 0 {
+				w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+			}
 		}
 		if len(opts.Pushdown) > 0 || opts.RangeStart != 0 || opts.RangeEnd > 0 {
 			w.WriteHeader(http.StatusPartialContent)

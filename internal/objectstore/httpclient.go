@@ -7,7 +7,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
+	"scoop/internal/metrics"
 	"scoop/internal/pushdown"
 )
 
@@ -15,11 +17,28 @@ import (
 // disaggregated setup of the paper, where compute and storage talk over an
 // inter-cluster network. Every request carries the caller's context, so a
 // cancelled query aborts its in-flight round-trips.
+//
+// The client owns the connector-side half of the fault model: idempotent
+// requests are retried with capped exponential backoff and seeded full
+// jitter, retriable statuses (408/429/5xx) and transport errors count as
+// transient, and plain GET bodies that end short of their Content-Length
+// are transparently resumed with a ranged re-read. Pushdown (storlet)
+// streams are never resumed mid-flight: filtered bytes are not
+// byte-addressable, so only the pre-first-byte request is retried.
 type HTTPClient struct {
 	// BaseURL is the store endpoint, e.g. "http://lb.storage:8080".
 	BaseURL string
 	// HTTP is the underlying client; http.DefaultClient when nil.
 	HTTP *http.Client
+	// Retry is the transient-failure policy; the zero value enables the
+	// defaults (4 attempts, 25ms–1s full-jitter backoff).
+	Retry RetryPolicy
+	// Metrics, when set, counts retries and resumes ("client.retries",
+	// "client.resumes"); nil disables counting.
+	Metrics *metrics.Registry
+
+	jitOnce sync.Once
+	jitter  *jitter
 }
 
 // NewHTTPClient returns a client for the given endpoint.
@@ -34,29 +53,45 @@ func (c *HTTPClient) httpc() *http.Client {
 	return http.DefaultClient
 }
 
+// jit lazily builds the seeded jitter source so a caller may set Retry.Seed
+// any time before the first request.
+func (c *HTTPClient) jit() *jitter {
+	c.jitOnce.Do(func() {
+		c.jitter = newJitter(c.Retry.withDefaults().Seed)
+	})
+	return c.jitter
+}
+
 func (c *HTTPClient) url(parts ...string) string {
 	return c.BaseURL + "/v1/" + strings.Join(parts, "/")
 }
 
 // CreateContainer implements Client.
 func (c *HTTPClient) CreateContainer(ctx context.Context, account, container string, policy *ContainerPolicy) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(account, container), nil)
-	if err != nil {
-		return err
-	}
+	var headers http.Header
 	if policy != nil {
+		headers = http.Header{}
 		if policy.DisablePushdown {
-			req.Header.Set(HeaderDisablePushdown, "true")
+			headers.Set(HeaderDisablePushdown, "true")
 		}
 		if len(policy.PutPipeline) > 0 {
 			enc, err := pushdown.EncodeChain(policy.PutPipeline)
 			if err != nil {
 				return err
 			}
-			req.Header.Set(HeaderPutPipeline, enc)
+			headers.Set(HeaderPutPipeline, enc)
 		}
 	}
-	resp, err := c.httpc().Do(req)
+	resp, err := c.doRetry(ctx, http.MethodPut, true, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(account, container), nil)
+		if err != nil {
+			return nil, err
+		}
+		for k, vs := range headers {
+			req.Header[k] = vs
+		}
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}
@@ -71,16 +106,26 @@ func (c *HTTPClient) CreateContainer(ctx context.Context, account, container str
 	}
 }
 
-// PutObject implements Client.
+// PutObject implements Client. The upload is retried only when the body can
+// be replayed (an io.Seeker, e.g. bytes.Reader or os.File): a consumed
+// one-shot stream must not be re-sent half-empty.
 func (c *HTTPClient) PutObject(ctx context.Context, account, container, object string, r io.Reader, meta map[string]string) (ObjectInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(account, container, object), r)
-	if err != nil {
-		return ObjectInfo{}, err
-	}
-	for k, v := range meta {
-		req.Header.Set(metaHeaderPrefix+k, v)
-	}
-	resp, err := c.httpc().Do(req)
+	seeker, replayable := r.(io.Seeker)
+	resp, err := c.doRetry(ctx, http.MethodPut, replayable, func() (*http.Request, error) {
+		if replayable {
+			if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+				return nil, fmt.Errorf("objectstore: rewind put body: %w", err)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(account, container, object), r)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range meta {
+			req.Header.Set(metaHeaderPrefix+k, v)
+		}
+		return req, nil
+	})
 	if err != nil {
 		return ObjectInfo{}, err
 	}
@@ -94,25 +139,31 @@ func (c *HTTPClient) PutObject(ctx context.Context, account, container, object s
 
 // GetObject implements Client.
 func (c *HTTPClient) GetObject(ctx context.Context, account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(account, container, object), nil)
-	if err != nil {
-		return nil, ObjectInfo{}, err
-	}
-	if opts.RangeStart != 0 || opts.RangeEnd > 0 {
-		if opts.RangeEnd > 0 {
-			req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", opts.RangeStart, opts.RangeEnd-1))
-		} else {
-			req.Header.Set("Range", fmt.Sprintf("bytes=%d-", opts.RangeStart))
-		}
-	}
+	var pushdownEnc string
 	if len(opts.Pushdown) > 0 {
 		enc, err := pushdown.EncodeChain(opts.Pushdown)
 		if err != nil {
 			return nil, ObjectInfo{}, err
 		}
-		req.Header.Set(pushdown.HeaderName, enc)
+		pushdownEnc = enc
 	}
-	resp, err := c.httpc().Do(req)
+	resp, err := c.doRetry(ctx, http.MethodGet, true, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(account, container, object), nil)
+		if err != nil {
+			return nil, err
+		}
+		if opts.RangeStart != 0 || opts.RangeEnd > 0 {
+			if opts.RangeEnd > 0 {
+				req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", opts.RangeStart, opts.RangeEnd-1))
+			} else {
+				req.Header.Set("Range", fmt.Sprintf("bytes=%d-", opts.RangeStart))
+			}
+		}
+		if pushdownEnc != "" {
+			req.Header.Set(pushdown.HeaderName, pushdownEnc)
+		}
+		return req, nil
+	})
 	if err != nil {
 		return nil, ObjectInfo{}, err
 	}
@@ -128,16 +179,31 @@ func (c *HTTPClient) GetObject(ctx context.Context, account, container, object s
 		Size:      resp.ContentLength,
 		Meta:      metaFromHeaders(resp.Header),
 	}
-	return resp.Body, info, nil
+	body := resp.Body
+	// Plain streams with a known length get mid-stream resume: a short body
+	// is detected against Content-Length and re-read from the break via a
+	// Range request. Filtered streams are exempt (not byte-addressable).
+	if len(opts.Pushdown) == 0 && resp.ContentLength > 0 && !c.Retry.Disabled {
+		body = &resumeReader{
+			c:         c,
+			ctx:       ctx,
+			account:   account,
+			container: container,
+			object:    object,
+			etag:      info.ETag,
+			rc:        resp.Body,
+			off:       opts.RangeStart,
+			end:       opts.RangeStart + resp.ContentLength,
+		}
+	}
+	return body, info, nil
 }
 
 // HeadObject implements Client.
 func (c *HTTPClient) HeadObject(ctx context.Context, account, container, object string) (ObjectInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.url(account, container, object), nil)
-	if err != nil {
-		return ObjectInfo{}, err
-	}
-	resp, err := c.httpc().Do(req)
+	resp, err := c.doRetry(ctx, http.MethodHead, true, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodHead, c.url(account, container, object), nil)
+	})
 	if err != nil {
 		return ObjectInfo{}, err
 	}
@@ -157,11 +223,9 @@ func (c *HTTPClient) HeadObject(ctx context.Context, account, container, object 
 
 // DeleteObject implements Client.
 func (c *HTTPClient) DeleteObject(ctx context.Context, account, container, object string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url(account, container, object), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpc().Do(req)
+	resp, err := c.doRetry(ctx, http.MethodDelete, true, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodDelete, c.url(account, container, object), nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -178,11 +242,9 @@ func (c *HTTPClient) ListObjects(ctx context.Context, account, container, prefix
 	if prefix != "" {
 		url += "?prefix=" + prefix
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpc().Do(req)
+	resp, err := c.doRetry(ctx, http.MethodGet, true, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -199,11 +261,9 @@ func (c *HTTPClient) ListObjects(ctx context.Context, account, container, prefix
 
 // ListContainers implements Client.
 func (c *HTTPClient) ListContainers(ctx context.Context, account string) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(account), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpc().Do(req)
+	resp, err := c.doRetry(ctx, http.MethodGet, true, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.url(account), nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -220,11 +280,9 @@ func (c *HTTPClient) ListContainers(ctx context.Context, account string) ([]stri
 
 // DeleteContainer implements Client.
 func (c *HTTPClient) DeleteContainer(ctx context.Context, account, container string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url(account, container), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpc().Do(req)
+	resp, err := c.doRetry(ctx, http.MethodDelete, true, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodDelete, c.url(account, container), nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -257,7 +315,13 @@ func statusErr(resp *http.Response) error {
 	}
 }
 
+// drainMax bounds how much of a response body drainClose reads to make the
+// connection reusable. Past this, draining costs more than a reconnect:
+// a failed-mid-body GET of a huge object would otherwise stall the caller
+// for the whole remainder, so we close (and drop) the connection instead.
+const drainMax = 256 << 10
+
 func drainClose(rc io.ReadCloser) {
-	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 1<<20))
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, drainMax))
 	rc.Close()
 }

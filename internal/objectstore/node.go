@@ -26,6 +26,9 @@ type NodeStats struct {
 	Requests int64
 	// FilteredRequests counts GETs that ran at least one pushdown filter.
 	FilteredRequests int64
+	// Errors counts operations this node failed (down, storage error) —
+	// the per-node denominator for failover rates in the chaos suite.
+	Errors int64
 }
 
 // Node is one object server: a storage engine plus the storlet runtime that
@@ -74,12 +77,25 @@ func (n *Node) ResetStats() {
 	n.stats = NodeStats{}
 }
 
+// countError accounts one failed operation.
+func (n *Node) countError() {
+	n.mu.Lock()
+	n.stats.Errors++
+	n.mu.Unlock()
+}
+
 // Put stores a replica of the object.
 func (n *Node) Put(ctx context.Context, info ObjectInfo, r io.Reader) (ObjectInfo, error) {
 	if n.down.Load() {
+		n.countError()
 		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
-	return n.store.Put(ctx, info, r)
+	si, err := n.store.Put(ctx, info, r)
+	if err != nil {
+		n.countError()
+		return ObjectInfo{}, err
+	}
+	return si, nil
 }
 
 // Get serves bytes [start, end) of the object, streaming them through the
@@ -87,6 +103,7 @@ func (n *Node) Put(ctx context.Context, info ObjectInfo, r io.Reader) (ObjectInf
 // filtered) stream; info describes the stored object, not the stream.
 func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*pushdown.Task) (io.ReadCloser, ObjectInfo, error) {
 	if n.down.Load() {
+		n.countError()
 		return nil, ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
 	// Pushdown filters over record-structured data must finish the record
@@ -99,6 +116,7 @@ func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*
 	}
 	rc, info, err := n.store.Get(ctx, path, start, fetchEnd)
 	if err != nil {
+		n.countError()
 		return nil, ObjectInfo{}, err
 	}
 	if end <= 0 || end > info.Size {
@@ -123,6 +141,7 @@ func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*
 	out, err := n.engine.RunChain(sctx, tasks, rc)
 	if err != nil {
 		rc.Close()
+		n.countError()
 		return nil, ObjectInfo{}, fmt.Errorf("node %s: %w", n.name, err)
 	}
 	// The chain never closes its input; tie the store reader's lifetime to
@@ -133,6 +152,7 @@ func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*
 // Head returns a replica's metadata.
 func (n *Node) Head(ctx context.Context, path string) (ObjectInfo, error) {
 	if n.down.Load() {
+		n.countError()
 		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
 	return n.store.Head(ctx, path)
@@ -141,6 +161,7 @@ func (n *Node) Head(ctx context.Context, path string) (ObjectInfo, error) {
 // Delete removes a replica.
 func (n *Node) Delete(ctx context.Context, path string) error {
 	if n.down.Load() {
+		n.countError()
 		return fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
 	n.store.Delete(ctx, path)
@@ -150,6 +171,7 @@ func (n *Node) Delete(ctx context.Context, path string) error {
 // List lists replicas by path prefix.
 func (n *Node) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
 	if n.down.Load() {
+		n.countError()
 		return nil, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
 	}
 	return n.store.List(ctx, prefix), nil

@@ -27,6 +27,11 @@ var (
 	ErrContainerNotEmpty = errors.New("objectstore: container not empty")
 	ErrBadRange          = errors.New("objectstore: invalid byte range")
 	ErrNodeDown          = errors.New("objectstore: object node down")
+	// ErrUnderReplicated categorizes a PUT that missed its write quorum.
+	// The concrete error is always a *ReplicationError carrying the
+	// per-node causes; match the category with errors.Is and the detail
+	// with errors.As.
+	ErrUnderReplicated = errors.New("objectstore: object under-replicated")
 )
 
 // ObjectInfo is the metadata of a stored object.

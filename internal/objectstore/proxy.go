@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scoop/internal/metrics"
 	"scoop/internal/pushdown"
 	"scoop/internal/ring"
 	"scoop/internal/storlet"
@@ -57,6 +58,15 @@ type Proxy struct {
 	engine *storlet.Engine
 	reg    *Registry
 
+	// quorum is the minimum replica writes for a successful PUT;
+	// 0 means majority of the ring's replica count.
+	quorum  int
+	metrics *metrics.Registry
+
+	repairMu    sync.Mutex
+	repairs     []RepairRecord
+	asyncRepair func(RepairRecord)
+
 	statMu sync.Mutex
 	stats  ProxyStats
 }
@@ -69,6 +79,29 @@ func NewProxy(name string, rg *ring.Ring, nodes map[string]*Node, engine *storle
 
 // Name returns the proxy's name.
 func (p *Proxy) Name() string { return p.name }
+
+// SetMetrics attaches a counter registry; recoveries (failovers, resumes,
+// quorum degradations, repairs) are counted there. nil disables counting.
+func (p *Proxy) SetMetrics(r *metrics.Registry) { p.metrics = r }
+
+// SetWriteQuorum overrides the PUT write quorum; q <= 0 restores the
+// default (majority of the ring's replicas).
+func (p *Proxy) SetWriteQuorum(q int) { p.quorum = q }
+
+// count bumps a named recovery counter; safe with no registry attached.
+func (p *Proxy) count(name string) { p.metrics.Counter(name).Inc() }
+
+// writeQuorum resolves the effective quorum for n replica targets.
+func (p *Proxy) writeQuorum(n int) int {
+	q := p.quorum
+	if q <= 0 {
+		q = n/2 + 1
+	}
+	if q > n {
+		q = n
+	}
+	return q
+}
 
 // Stats returns a copy of the proxy's counters.
 func (p *Proxy) Stats() ProxyStats {
@@ -183,20 +216,31 @@ func (p *Proxy) PutObject(ctx context.Context, account, container, object string
 	}
 	var stored ObjectInfo
 	ok := 0
-	var firstErr error
+	var causes []error
+	var missing []string
 	for _, node := range nodes {
 		si, err := node.Put(ctx, info, bytes.NewReader(buf.Bytes()))
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+			causes = append(causes, fmt.Errorf("%s: %w", node.Name(), err))
+			missing = append(missing, node.Name())
 			continue
 		}
 		stored = si
 		ok++
 	}
-	if ok == 0 {
-		return ObjectInfo{}, fmt.Errorf("objectstore: all replicas failed: %w", firstErr)
+	// Write-quorum policy: the PUT succeeds when a majority of replicas
+	// (by default 2 of 3) hold the object; the durability gap is recorded
+	// for asynchronous repair. Below quorum the PUT fails with the typed
+	// per-node causes.
+	if quorum := p.writeQuorum(len(nodes)); ok < quorum {
+		p.count("proxy.put.quorum_failed")
+		return ObjectInfo{}, &ReplicationError{
+			Path: info.Path(), Want: quorum, Got: ok, Replicas: len(nodes), Causes: causes,
+		}
+	}
+	if ok < len(nodes) {
+		p.count("proxy.put.underreplicated")
+		p.recordRepair(RepairRecord{Path: info.Path(), Missing: missing, Causes: causes})
 	}
 	p.reg.mu.Lock()
 	cs.objects[object] = stored
@@ -254,22 +298,26 @@ func (p *Proxy) GetObject(ctx context.Context, account, container, object string
 	if err != nil {
 		return nil, ObjectInfo{}, err
 	}
-	var rc io.ReadCloser
-	var info ObjectInfo
-	var lastErr error = ErrNotFound
-	for _, node := range nodes {
-		if err := ctx.Err(); err != nil {
-			return nil, ObjectInfo{}, err
-		}
-		rc, info, err = node.Get(ctx, path, opts.RangeStart, opts.RangeEnd, objectStage)
-		if err == nil {
-			break
-		}
-		lastErr = err
-		rc = nil
+	rc, info, idx, err := p.fetchReplica(ctx, nodes, path, opts.RangeStart, opts.RangeEnd, objectStage)
+	if err != nil {
+		return nil, ObjectInfo{}, err
 	}
-	if rc == nil {
-		return nil, ObjectInfo{}, lastErr
+	// Plain streams additionally survive mid-stream replica failure: the
+	// expected byte count is known, so truncation is detected and the read
+	// resumes on the next replica from the break. Filtered streams skip
+	// this (see replicaStream) — for them only pre-first-byte failover and
+	// whole-request retry are safe.
+	if len(objectStage) == 0 {
+		end := opts.RangeEnd
+		if end <= 0 || end > info.Size {
+			end = info.Size
+		}
+		if opts.RangeStart < end {
+			rc = &replicaStream{
+				ctx: ctx, p: p, nodes: nodes, idx: idx,
+				path: path, rc: rc, off: opts.RangeStart, end: end,
+			}
+		}
 	}
 	p.statMu.Lock()
 	p.stats.Requests++
@@ -296,6 +344,36 @@ func (p *Proxy) GetObject(ctx context.Context, account, container, object string
 		return nil, ObjectInfo{}, err
 	}
 	return &proxyOutCounted{rc: out, p: p, inner: counted}, info, nil
+}
+
+// fetchReplica opens the object on the first replica that can deliver its
+// first byte, trying the remaining ring replicas on any failure — including
+// streams that open successfully and die before producing data (peekFirst).
+// It returns the stream, the object metadata, and the index of the serving
+// replica so mid-stream failover can continue down the ring.
+func (p *Proxy) fetchReplica(ctx context.Context, nodes []*Node, path string, start, end int64, tasks []*pushdown.Task) (io.ReadCloser, ObjectInfo, int, error) {
+	var lastErr error = ErrNotFound
+	for i, node := range nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, ObjectInfo{}, 0, err
+		}
+		rc, info, err := node.Get(ctx, path, start, end, tasks)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pk, perr := peekFirst(rc)
+		if perr != nil {
+			rc.Close()
+			lastErr = fmt.Errorf("objectstore: replica %s failed before first byte: %w", node.Name(), perr)
+			continue
+		}
+		if i > 0 {
+			p.count("proxy.get.failovers")
+		}
+		return pk, info, i, nil
+	}
+	return nil, ObjectInfo{}, 0, lastErr
 }
 
 // splitByStage partitions a chain by execution tier, preserving order within

@@ -1,0 +1,163 @@
+package objectstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReplicationError is the typed failure of a PUT that could not reach its
+// write quorum. It wraps the per-node causes, so callers can both detect
+// the category (errors.Is(err, ErrUnderReplicated)) and inspect what
+// happened on each replica (errors.As to *ReplicationError, or errors.Is
+// against a node-level sentinel like ErrNodeDown through the Unwrap tree).
+type ReplicationError struct {
+	// Path is the ring key of the object.
+	Path string
+	// Want is the write quorum; Got is how many replicas succeeded;
+	// Replicas is the ring's replica count.
+	Want, Got, Replicas int
+	// Causes holds one wrapped error per failed replica write.
+	Causes []error
+}
+
+// Error implements error.
+func (e *ReplicationError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "objectstore: %s under-replicated: %d/%d replicas written (quorum %d)",
+		e.Path, e.Got, e.Replicas, e.Want)
+	for _, c := range e.Causes {
+		b.WriteString("; ")
+		b.WriteString(c.Error())
+	}
+	return b.String()
+}
+
+// Is reports category membership so errors.Is(err, ErrUnderReplicated)
+// holds without string matching.
+func (e *ReplicationError) Is(target error) bool { return target == ErrUnderReplicated }
+
+// Unwrap exposes the per-node causes to errors.Is/As traversal.
+func (e *ReplicationError) Unwrap() []error { return e.Causes }
+
+// RepairRecord notes an object that was written to fewer than all of its
+// ring replicas: the PUT met quorum and succeeded, but the object needs
+// re-replication to the nodes that missed it. This is the in-process analog
+// of Swift's async_pending + object-replicator handoff.
+type RepairRecord struct {
+	// Path is the ring key of the under-replicated object.
+	Path string
+	// Missing names the nodes whose write failed.
+	Missing []string
+	// Causes holds the per-node write failures, aligned with Missing.
+	Causes []error
+}
+
+// recordRepair files the record, counts it, and fires the AsyncRepair hook
+// outside the proxy's locks.
+func (p *Proxy) recordRepair(rec RepairRecord) {
+	p.repairMu.Lock()
+	p.repairs = append(p.repairs, rec)
+	hook := p.asyncRepair
+	p.repairMu.Unlock()
+	p.count("proxy.repair.recorded")
+	if hook != nil {
+		hook(rec)
+	}
+}
+
+// SetAsyncRepair installs a hook invoked once per new repair record — the
+// seam where a deployment schedules background re-replication (or a test
+// asserts degradation was noticed). The hook runs on the PUT path after the
+// response is determined; keep it fast or hand off.
+func (p *Proxy) SetAsyncRepair(fn func(RepairRecord)) {
+	p.repairMu.Lock()
+	defer p.repairMu.Unlock()
+	p.asyncRepair = fn
+}
+
+// RepairRecords returns a copy of the proxy's pending repair queue.
+func (p *Proxy) RepairRecords() []RepairRecord {
+	p.repairMu.Lock()
+	defer p.repairMu.Unlock()
+	out := make([]RepairRecord, len(p.repairs))
+	copy(out, p.repairs)
+	return out
+}
+
+// RunRepairs drains the repair queue, re-replicating each recorded object
+// from a healthy replica to the nodes that missed its write. Records whose
+// repair still fails stay queued. It returns how many records were fully
+// repaired and the first error encountered.
+func (p *Proxy) RunRepairs(ctx context.Context) (int, error) {
+	p.repairMu.Lock()
+	pending := p.repairs
+	p.repairs = nil
+	p.repairMu.Unlock()
+
+	repaired := 0
+	var remaining []RepairRecord
+	var firstErr error
+	for _, rec := range pending {
+		if err := p.repairOne(ctx, rec); err != nil {
+			remaining = append(remaining, rec)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		repaired++
+		p.count("proxy.repair.completed")
+	}
+	if len(remaining) > 0 {
+		p.repairMu.Lock()
+		p.repairs = append(remaining, p.repairs...)
+		p.repairMu.Unlock()
+	}
+	return repaired, firstErr
+}
+
+// repairOne copies the object from a healthy replica to every missing node.
+func (p *Proxy) repairOne(ctx context.Context, rec RepairRecord) error {
+	nodes, err := p.replicaNodes(rec.Path)
+	if err != nil {
+		return err
+	}
+	missing := make(map[string]bool, len(rec.Missing))
+	for _, m := range rec.Missing {
+		missing[m] = true
+	}
+	var data []byte
+	var info ObjectInfo
+	found := false
+	for _, n := range nodes {
+		if missing[n.Name()] {
+			continue
+		}
+		rc, i, err := n.Get(ctx, rec.Path, 0, 0, nil)
+		if err != nil {
+			continue
+		}
+		data, err = io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			continue
+		}
+		info, found = i, true
+		break
+	}
+	if !found {
+		return fmt.Errorf("objectstore: repair %s: no healthy replica readable", rec.Path)
+	}
+	for _, n := range nodes {
+		if !missing[n.Name()] {
+			continue
+		}
+		if _, err := n.Put(ctx, info, bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("objectstore: repair %s onto %s: %w", rec.Path, n.Name(), err)
+		}
+	}
+	return nil
+}

@@ -8,7 +8,11 @@
 #                                     (closebody, errwrap, lockheld, chanleak,
 #                                     ctxpropagate) and whole-module call-graph
 #                                     (lockorder, goroleak, sandboxpure)
-#   4. go test -race ./...          full suite under the race detector
+#   4. go test -race -short ./...   fast-tier suite under the race detector
+#
+# The chaos suite (TestChaos* in internal/integration) skips itself under
+# -short; CI runs it as its own race-enabled job, and locally it runs with
+#   go test -race -run 'TestChaos' ./internal/integration/
 #
 # Any failure stops the gate. Run it from the repository root (or anywhere
 # inside the module; it cd's to the script's parent directory).
@@ -24,7 +28,7 @@ go vet ./...
 echo "==> scoop-lint ./..."
 go run ./cmd/scoop-lint ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -short ./..."
+go test -race -short ./...
 
 echo "verify: all gates passed"
