@@ -9,6 +9,7 @@ package compute
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,14 @@ type Config struct {
 	// Retries is how many times a failing task is re-run before the job
 	// fails (Spark's spark.task.maxFailures - 1).
 	Retries int
+	// RetryBackoff is the full-jitter ceiling for the pause before a task
+	// re-attempt, so a store shedding load (503 + Retry-After at the
+	// connector layer, ErrOverloaded at the engine) is not hammered in
+	// lock-step by every worker. 0 keeps the historical immediate retry.
+	RetryBackoff time.Duration
+	// Seed seeds the backoff jitter (0 means 1); fixed seeds keep chaos
+	// runs deterministic.
+	Seed int64
 }
 
 // DefaultConfig matches a small local deployment.
@@ -98,14 +107,27 @@ func (d *Driver) Run(ctx context.Context, tasks []Task) ([]any, Stats, error) {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			var rng *rand.Rand
+			if d.cfg.RetryBackoff > 0 {
+				seed := d.cfg.Seed
+				if seed == 0 {
+					seed = 1
+				}
+				rng = rand.New(rand.NewSource(seed + int64(worker)))
+			}
 			for j := range jobs {
 				var lastErr error
 				ok := false
 				for attempt := 0; attempt <= d.cfg.Retries; attempt++ {
 					if jobCtx.Err() != nil {
 						return
+					}
+					if attempt > 0 && rng != nil {
+						if !sleepCtx(jobCtx, time.Duration(rng.Int63n(int64(d.cfg.RetryBackoff)))) {
+							return
+						}
 					}
 					attempts.Add(1)
 					t0 := time.Now()
@@ -124,7 +146,7 @@ func (d *Driver) Run(ctx context.Context, tasks []Task) ([]any, Stats, error) {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := range tasks {
@@ -147,4 +169,19 @@ feed:
 		return nil, stats, err
 	}
 	return results, stats, nil
+}
+
+// sleepCtx pauses for d, returning false when ctx dies first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }

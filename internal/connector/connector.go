@@ -13,8 +13,10 @@ import (
 	"sync/atomic"
 
 	"scoop/internal/csvio"
+	"scoop/internal/metrics"
 	"scoop/internal/objectstore"
 	"scoop/internal/pushdown"
+	"scoop/internal/storlet"
 )
 
 // DefaultChunkSize mirrors the HDFS default split size the paper discusses
@@ -45,6 +47,12 @@ type Stats struct {
 	BytesIngested int64
 	// Requests is the number of GETs issued.
 	Requests int64
+	// Fallbacks counts pushdown requests degraded to plain GET + local
+	// (compute-side) filter evaluation.
+	Fallbacks int64
+	// FallbackBytes is the raw ingest volume attributable to fallbacks —
+	// bytes that pushdown would have filtered at the store.
+	FallbackBytes int64
 }
 
 // Connector binds a store client with chunking configuration.
@@ -53,8 +61,15 @@ type Connector struct {
 	account   string
 	chunkSize int64
 
+	// fbEngine, when set via EnableFallback, evaluates pushdown chains
+	// compute-side after the store refuses or aborts them.
+	fbEngine  *storlet.Engine
+	fbMetrics *metrics.Registry
+
 	bytesIngested atomic.Int64
 	requests      atomic.Int64
+	fallbacks     atomic.Int64
+	bytesFallback atomic.Int64
 }
 
 // New creates a connector for an account. chunkSize <= 0 uses the default.
@@ -67,13 +82,20 @@ func New(client objectstore.Client, account string, chunkSize int64) *Connector 
 
 // Stats returns a snapshot of the connector's counters.
 func (c *Connector) Stats() Stats {
-	return Stats{BytesIngested: c.bytesIngested.Load(), Requests: c.requests.Load()}
+	return Stats{
+		BytesIngested: c.bytesIngested.Load(),
+		Requests:      c.requests.Load(),
+		Fallbacks:     c.fallbacks.Load(),
+		FallbackBytes: c.bytesFallback.Load(),
+	}
 }
 
 // ResetStats zeroes the counters.
 func (c *Connector) ResetStats() {
 	c.bytesIngested.Store(0)
 	c.requests.Store(0)
+	c.fallbacks.Store(0)
+	c.bytesFallback.Store(0)
 }
 
 // Account returns the account this connector reads.
@@ -108,7 +130,10 @@ func (c *Connector) DiscoverPartitions(ctx context.Context, container, prefix st
 
 // Open issues the ranged GET for a split, tagging it with the pushdown chain
 // when given. The returned stream is either raw object bytes (tasks == nil;
-// record alignment is then the reader's job) or the filter output.
+// record alignment is then the reader's job) or the filter output. With a
+// fallback engine armed (EnableFallback), a pushdown request the store
+// refuses or aborts mid-stream is transparently degraded to a plain GET
+// evaluated compute-side — the caller still sees the filtered bytes.
 func (c *Connector) Open(ctx context.Context, split Split, tasks []*pushdown.Task) (io.ReadCloser, error) {
 	opts := objectstore.GetOptions{
 		RangeStart: split.Start,
@@ -117,10 +142,17 @@ func (c *Connector) Open(ctx context.Context, split Split, tasks []*pushdown.Tas
 	}
 	rc, _, err := c.client.GetObject(ctx, split.Account, split.Container, split.Object, opts)
 	if err != nil {
+		if len(tasks) > 0 && c.fbEngine != nil && degradable(err) {
+			return c.openFallback(ctx, split, tasks, 0, err)
+		}
 		return nil, fmt.Errorf("connector: open %s: %w", split, err)
 	}
 	c.requests.Add(1)
-	return &counted{rc: rc, n: &c.bytesIngested}, nil
+	stream := &counted{rc: rc, n: &c.bytesIngested}
+	if len(tasks) > 0 && c.fbEngine != nil {
+		return &fallbackReader{c: c, ctx: ctx, split: split, tasks: tasks, rc: stream}, nil
+	}
+	return stream, nil
 }
 
 // Upload stores an object through the connector's account.

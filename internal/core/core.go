@@ -24,11 +24,13 @@ import (
 	"scoop/internal/connector"
 	"scoop/internal/datasource"
 	"scoop/internal/meter"
+	"scoop/internal/metrics"
 	"scoop/internal/objectstore"
 	"scoop/internal/sql/exec"
 	"scoop/internal/sql/parser"
 	"scoop/internal/sql/plan"
 	"scoop/internal/sql/types"
+	"scoop/internal/storlet"
 	"scoop/internal/storlet/aggfilter"
 	"scoop/internal/storlet/compressfilter"
 	"scoop/internal/storlet/csvfilter"
@@ -75,6 +77,11 @@ type Config struct {
 	ChunkSize int64
 	// Compute sizes the worker pool.
 	Compute compute.Config
+	// NoFallback disables the connector's compute-side degradation path.
+	// By default a local storlet engine (with the standard filters) is
+	// armed so pushdown refusals and mid-stream filter failures degrade to
+	// plain GET + local evaluation instead of failing the query.
+	NoFallback bool
 }
 
 // Scoop is the assembled system.
@@ -83,6 +90,7 @@ type Scoop struct {
 	client  objectstore.Client
 	conn    *connector.Connector
 	driver  *compute.Driver
+	metrics *metrics.Registry
 
 	mu     sync.RWMutex
 	tables map[string]tableDef
@@ -113,6 +121,26 @@ func (d tableDef) newRelation(conn *connector.Connector, pushdownMode bool) (dat
 	return datasource.NewCSV(conn, d.container, d.prefix, d.decl, opts)
 }
 
+// RegisterStandardFilters deploys the stock filter set on an engine — the
+// same list for the store's engine and the connector's fallback engine, so a
+// degraded chain always finds its filters locally.
+func RegisterStandardFilters(e *storlet.Engine) error {
+	filters := []storlet.Filter{
+		csvfilter.New(),
+		etl.NewCleanse(),
+		etl.NewSplit(),
+		compressfilter.New(),
+		aggfilter.New(),
+		jsonfilter.New(),
+	}
+	for _, f := range filters {
+		if err := e.Register(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // New assembles a Scoop instance.
 func New(cfg Config) (*Scoop, error) {
 	if cfg.Account == "" {
@@ -133,28 +161,29 @@ func New(cfg Config) (*Scoop, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := cluster.Engine().Register(csvfilter.New()); err != nil {
-			return nil, err
-		}
-		if err := cluster.Engine().Register(etl.NewCleanse()); err != nil {
-			return nil, err
-		}
-		if err := cluster.Engine().Register(etl.NewSplit()); err != nil {
-			return nil, err
-		}
-		if err := cluster.Engine().Register(compressfilter.New()); err != nil {
-			return nil, err
-		}
-		if err := cluster.Engine().Register(aggfilter.New()); err != nil {
-			return nil, err
-		}
-		if err := cluster.Engine().Register(jsonfilter.New()); err != nil {
+		if err := RegisterStandardFilters(cluster.Engine()); err != nil {
 			return nil, err
 		}
 		s.cluster = cluster
 		s.client = cluster.Client()
 	}
+	if s.cluster != nil {
+		s.metrics = s.cluster.Metrics()
+	}
+	if s.metrics == nil {
+		s.metrics = metrics.NewRegistry()
+	}
 	s.conn = connector.New(s.client, cfg.Account, cfg.ChunkSize)
+	if !cfg.NoFallback {
+		// The degradation ladder's last rung (DESIGN §8): a compute-side
+		// engine with the standard filters, so refused/aborted pushdown
+		// degrades to the paper's baseline path instead of failing.
+		fe := storlet.NewEngine(storlet.Limits{})
+		if err := RegisterStandardFilters(fe); err != nil {
+			return nil, err
+		}
+		s.conn.EnableFallback(fe, s.metrics)
+	}
 	driver, err := compute.NewDriver(cfg.Compute)
 	if err != nil {
 		return nil, err
@@ -172,6 +201,11 @@ func (s *Scoop) Client() objectstore.Client { return s.client }
 
 // Connector returns the storage connector (ingestion statistics live here).
 func (s *Scoop) Connector() *connector.Connector { return s.conn }
+
+// MetricsRegistry returns the metrics registry the system reports into (the
+// cluster's when running in-process, otherwise Scoop's own) — e.g.
+// "connector.pushdown.fallbacks".
+func (s *Scoop) MetricsRegistry() *metrics.Registry { return s.metrics }
 
 // Account returns the account all tables live under.
 func (s *Scoop) Account() string { return s.conn.Account() }

@@ -57,6 +57,9 @@ const (
 	Latency
 	Truncate
 	Blackout
+	// Panic crashes the target in-process — only meaningful for FilterFault,
+	// where the storlet sandbox is expected to contain it.
+	Panic
 )
 
 // String names the kind (used as the Injected() map key).
@@ -72,6 +75,8 @@ func (k Kind) String() string {
 		return "truncate"
 	case Blackout:
 		return "blackout"
+	case Panic:
+		return "panic"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -90,6 +95,9 @@ const (
 	OpHead   Op = "HEAD"
 	OpDelete Op = "DELETE"
 	OpList   Op = "LIST"
+	// OpInvoke sequences storlet filter invocations (FilterFault); the
+	// rule path is the filter name.
+	OpInvoke Op = "INVOKE"
 )
 
 // Fault is one injectable failure.

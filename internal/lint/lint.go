@@ -116,6 +116,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerErrWrap,
 		AnalyzerLockHeld,
 		AnalyzerChanLeak,
+		AnalyzerSlotLeak,
 		AnalyzerCtxPropagate,
 		AnalyzerLockOrder,
 		AnalyzerGoroLeak,

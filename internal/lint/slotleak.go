@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerSlotLeak targets the semaphore-acquire idiom the storlet engine
+// uses for admission control: `slots <- struct{}{}` takes a concurrency slot.
+// A bare (unconditional) acquire-send has no cancellation path — when the
+// semaphore is full and the work is abandoned (caller times out, request
+// context dies), the sender blocks forever and, if it is a goroutine, leaks
+// with everything it captured. That is exactly the leak PR 5 fixed in
+// Engine.run.
+//
+// The fix is to perform the acquire inside a select that can also take a
+// cancel signal:
+//
+//	select {
+//	case slots <- struct{}{}:
+//	case <-ctx.Done():
+//	    return ctx.Err()
+//	}
+//
+// Releases (`<-slots`) are not flagged: a release on a channel sized to the
+// acquires can never block.
+var AnalyzerSlotLeak = &Analyzer{
+	Name: "slotleak",
+	Doc:  "semaphore acquires (ch <- struct{}{}) must select on a cancel signal",
+	Run:  runSlotLeak,
+}
+
+func runSlotLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		walkParents(file, func(n ast.Node, parents []ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok || !isEmptyStructSend(pass, send) {
+				return true
+			}
+			// A send that IS a select comm clause has the select's other
+			// cases as its escape hatch.
+			for _, p := range parents {
+				if cc, ok := p.(*ast.CommClause); ok && cc.Comm == send {
+					return true
+				}
+			}
+			name := "channel"
+			if obj := identObj(pass.Info, send.Chan); obj != nil {
+				name = "\"" + obj.Name() + "\""
+			}
+			pass.Reportf(send.Pos(), "blocking semaphore acquire on %s has no cancellation path; wrap the send in a select with a cancel/timeout case", name)
+			return true
+		})
+	}
+}
+
+// isEmptyStructSend reports whether send pushes a struct{} value into a
+// chan struct{} — the semaphore-slot signature. Channels carrying data are
+// chanleak's territory, not slotleak's.
+func isEmptyStructSend(pass *Pass, send *ast.SendStmt) bool {
+	tv, ok := pass.Info.Types[send.Chan]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.RecvOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,51 @@
+// Package slotleak holds known-good and known-bad semaphore-acquire shapes
+// for the slotleak analyzer.
+package slotleak
+
+import "context"
+
+func badBareAcquireInGoroutine(slots chan struct{}, work func()) {
+	go func() {
+		slots <- struct{}{} // want:slotleak blocking semaphore acquire on "slots"
+		defer func() { <-slots }()
+		work()
+	}()
+}
+
+func badBareAcquireInline(slots chan struct{}, work func()) {
+	slots <- struct{}{} // want:slotleak blocking semaphore acquire on "slots"
+	defer func() { <-slots }()
+	work()
+}
+
+func goodSelectAcquire(ctx context.Context, slots chan struct{}, work func()) error {
+	select {
+	case slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-slots }()
+	work()
+	return nil
+}
+
+func goodNonBlockingAcquire(slots chan struct{}) bool {
+	select {
+	case slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func goodReleaseNeverFlagged(slots chan struct{}) {
+	<-slots // a release can always complete; only acquires are audited
+}
+
+func goodDataChannelIsNotASemaphore(ch chan int) {
+	// chanleak territory: channels carrying data are out of scope here.
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}

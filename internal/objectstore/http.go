@@ -193,6 +193,12 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, account, c
 		defer rc.Close()
 		w.Header().Set("ETag", info.ETag)
 		setMetaHeaders(w.Header(), info.Meta)
+		if len(opts.Pushdown) > 0 {
+			// Filtered streams have no Content-Length, so a mid-stream filter
+			// failure would be indistinguishable from success. Announce the
+			// error trailer up-front; it stays empty on clean completion.
+			w.Header().Set("Trailer", HeaderFilterError)
+		}
 		// Filtered responses have unknown length; stream chunked. Plain
 		// streams — full or ranged — have a known length, and advertising
 		// it is what lets the client detect mid-stream truncation and
@@ -210,7 +216,12 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, account, c
 			w.WriteHeader(http.StatusPartialContent)
 		}
 		if _, err := io.Copy(w, rc); err != nil {
-			// Mid-stream failure: the status line is gone already; abort.
+			// Mid-stream failure: the status line is gone already. For
+			// pushdown streams, report the cause in the trailer so the
+			// client can distinguish a failed filter from a clean EOF.
+			if len(opts.Pushdown) > 0 {
+				w.Header().Set(HeaderFilterError, err.Error())
+			}
 			return
 		}
 	case http.MethodHead:
@@ -292,6 +303,14 @@ func writeErr(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, ErrBadRange):
 		http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+	case IsPushdownUnavailable(err) || IsFilterFailure(err):
+		// Pre-first-byte pushdown refusal (or a filter failure caught before
+		// any byte left): 503 so PR 3's retry machinery treats it as
+		// transient, Retry-After to pace it, and the reason header so the
+		// connector can decide to fall back compute-side instead.
+		w.Header().Set(HeaderPushdownUnavailable, PushdownUnavailableReason(err))
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}

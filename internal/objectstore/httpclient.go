@@ -3,6 +3,7 @@ package objectstore
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -180,6 +181,12 @@ func (c *HTTPClient) GetObject(ctx context.Context, account, container, object s
 		Meta:      metaFromHeaders(resp.Header),
 	}
 	body := resp.Body
+	if len(opts.Pushdown) > 0 {
+		// Filtered streams carry mid-stream failures in the error trailer
+		// (they have no Content-Length to check truncation against). Decode
+		// it into a typed ErrFilterFailed at EOF.
+		body = &trailerChecked{rc: resp.Body, resp: resp}
+	}
 	// Plain streams with a known length get mid-stream resume: a short body
 	// is detected against Content-Length and re-read from the break via a
 	// Range request. Filtered streams are exempt (not byte-addressable).
@@ -305,6 +312,9 @@ func statusErr(resp *http.Response) error {
 	if err != nil && msg == "" {
 		msg = "error body unreadable: " + err.Error()
 	}
+	if reason := resp.Header.Get(HeaderPushdownUnavailable); reason != "" {
+		return pushdownUnavailableErr(reason, resp.StatusCode, msg)
+	}
 	switch resp.StatusCode {
 	case http.StatusNotFound:
 		return fmt.Errorf("%w (%s)", ErrNotFound, msg)
@@ -314,6 +324,36 @@ func statusErr(resp *http.Response) error {
 		return fmt.Errorf("objectstore: http %d: %s", resp.StatusCode, msg)
 	}
 }
+
+// trailerChecked surfaces the store's mid-stream filter-failure trailer as a
+// typed error at stream end. Go's http client populates resp.Trailer only
+// after the body reads io.EOF, so the check happens exactly there; bytes
+// read in the same call as the EOF are delivered before the error.
+type trailerChecked struct {
+	rc   io.ReadCloser
+	resp *http.Response
+	err  error // sticky decoded trailer error
+}
+
+//lint:ignore ctxpropagate Read implements io.Reader (fixed signature); Trailer.Get is a header-map lookup, not real I/O — cancellation flows through the request context already attached to t.rc.
+func (t *trailerChecked) Read(p []byte) (int, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	n, err := t.rc.Read(p)
+	if errors.Is(err, io.EOF) {
+		if msg := t.resp.Trailer.Get(HeaderFilterError); msg != "" {
+			t.err = fmt.Errorf("%w: %s", ErrFilterFailed, msg)
+			if n > 0 {
+				return n, nil
+			}
+			err = t.err
+		}
+	}
+	return n, err
+}
+
+func (t *trailerChecked) Close() error { return t.rc.Close() }
 
 // drainMax bounds how much of a response body drainClose reads to make the
 // connection reusable. Past this, draining costs more than a reconnect:

@@ -133,6 +133,7 @@ func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*
 		return &countedCloser{rc: rc, node: n}, info, nil
 	}
 	sctx := &storlet.Context{
+		Ctx:        ctx,
 		RangeStart: start,
 		RangeEnd:   end,
 		ObjectSize: info.Size,

@@ -191,7 +191,7 @@ func (p *Proxy) PutObject(ctx context.Context, account, container, object string
 	}
 	stream := r
 	if len(policy.PutPipeline) > 0 {
-		sctx := &storlet.Context{RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: -1}
+		sctx := &storlet.Context{Ctx: ctx, RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: -1}
 		rc, err := p.engine.RunChain(sctx, policy.PutPipeline, r)
 		if err != nil {
 			return ObjectInfo{}, fmt.Errorf("put pipeline: %w", err)
@@ -284,7 +284,7 @@ func (p *Proxy) GetObject(ctx context.Context, account, container, object string
 		return nil, ObjectInfo{}, err
 	}
 	if len(opts.Pushdown) > 0 && policy.DisablePushdown {
-		return nil, ObjectInfo{}, fmt.Errorf("objectstore: pushdown disabled for container %s/%s", account, container)
+		return nil, ObjectInfo{}, fmt.Errorf("%w: container %s/%s", ErrPushdownDisabled, account, container)
 	}
 	for _, t := range opts.Pushdown {
 		if err := t.Validate(); err != nil {
@@ -330,7 +330,7 @@ func (p *Proxy) GetObject(ctx context.Context, account, container, object string
 	// raw object bytes. Their range covers the whole derived stream unless
 	// no object-stage filter ran, in which case the original byte range
 	// still describes the stream.
-	sctx := &storlet.Context{RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: info.Size}
+	sctx := &storlet.Context{Ctx: ctx, RangeStart: 0, RangeEnd: int64(1) << 62, ObjectSize: info.Size}
 	if len(objectStage) == 0 {
 		end := opts.RangeEnd
 		if end <= 0 || end > info.Size {
@@ -359,12 +359,22 @@ func (p *Proxy) fetchReplica(ctx context.Context, nodes []*Node, path string, st
 		}
 		rc, info, err := node.Get(ctx, path, start, end, tasks)
 		if err != nil {
+			// A pushdown refusal comes from the SHARED storlet engine, not
+			// this replica's disk — another replica would refuse identically.
+			// Abort the ring walk so the refusal surfaces once (typed, for
+			// the 503 path) instead of as N spurious failovers.
+			if IsPushdownUnavailable(err) || IsFilterFailure(err) {
+				return nil, ObjectInfo{}, 0, err
+			}
 			lastErr = err
 			continue
 		}
 		pk, perr := peekFirst(rc)
 		if perr != nil {
 			rc.Close()
+			if IsPushdownUnavailable(perr) || IsFilterFailure(perr) {
+				return nil, ObjectInfo{}, 0, perr
+			}
 			lastErr = fmt.Errorf("objectstore: replica %s failed before first byte: %w", node.Name(), perr)
 			continue
 		}
@@ -377,16 +387,10 @@ func (p *Proxy) fetchReplica(ctx context.Context, nodes []*Node, path string, st
 }
 
 // splitByStage partitions a chain by execution tier, preserving order within
-// each tier. Default stage is the object server (data locality).
+// each tier. The shared rule lives in the pushdown package so the connector's
+// compute-side fallback replays the exact same execution order.
 func splitByStage(tasks []*pushdown.Task) (objectStage, proxyStage []*pushdown.Task) {
-	for _, t := range tasks {
-		if t.Stage == pushdown.StageProxy {
-			proxyStage = append(proxyStage, t)
-		} else {
-			objectStage = append(objectStage, t)
-		}
-	}
-	return objectStage, proxyStage
+	return pushdown.SplitByStage(tasks)
 }
 
 // HeadObject implements Client.

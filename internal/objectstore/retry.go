@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -134,10 +135,21 @@ func (c *HTTPClient) doRetry(ctx context.Context, method string, replayable bool
 		attempts = 1
 	}
 	var lastErr error
+	var retryAfter time.Duration
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
 			c.Metrics.Counter("client.retries").Inc()
-			if err := sleepCtx(ctx, c.jit().backoff(p, try-1)); err != nil {
+			// Honor a server-requested pacing hint (Retry-After on the failed
+			// response) when it exceeds our own backoff, capped at MaxDelay so
+			// a hostile or confused server cannot park the client.
+			delay := c.jit().backoff(p, try-1)
+			if retryAfter > delay {
+				delay = retryAfter
+				if delay > p.MaxDelay {
+					delay = p.MaxDelay
+				}
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
 				return nil, fmt.Errorf("objectstore: retry aborted: %w (last failure: %w)", err, lastErr)
 			}
 		}
@@ -148,6 +160,7 @@ func (c *HTTPClient) doRetry(ctx context.Context, method string, replayable bool
 		resp, err := c.httpc().Do(req)
 		if err != nil {
 			lastErr = err
+			retryAfter = 0
 			if ctx.Err() != nil {
 				return nil, err
 			}
@@ -155,12 +168,27 @@ func (c *HTTPClient) doRetry(ctx context.Context, method string, replayable bool
 		}
 		if retriableStatus(resp.StatusCode) && try < attempts-1 {
 			lastErr = fmt.Errorf("objectstore: http %d on %s %s", resp.StatusCode, method, req.URL.Path)
+			retryAfter = retryAfterHint(resp)
 			drainClose(resp.Body)
 			continue
 		}
 		return resp, nil
 	}
 	return nil, lastErr
+}
+
+// retryAfterHint parses a delay-seconds Retry-After header (0 when absent or
+// unparseable; HTTP-date forms are ignored — the store only emits seconds).
+func retryAfterHint(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // resumeReader transparently restarts a plain (unfiltered) GET body after a

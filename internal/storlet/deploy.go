@@ -151,6 +151,7 @@ func (p *pipelineFilter) Invoke(ctx *Context, in io.Reader, out io.Writer) error
 		tasks[0] = &first
 	}
 	base := &Context{
+		Ctx:        ctx.Ctx,
 		RangeStart: ctx.RangeStart,
 		RangeEnd:   ctx.RangeEnd,
 		ObjectSize: ctx.ObjectSize,

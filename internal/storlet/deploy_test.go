@@ -1,6 +1,8 @@
 package storlet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -93,8 +95,81 @@ func TestDeployManifestErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := e.DeployManifest([]byte(ok))
-	if err == nil || !strings.Contains(err.Error(), "already deployed") {
-		t.Errorf("duplicate deploy error = %v", err)
+	if !errors.Is(err, ErrAlreadyDeployed) {
+		t.Errorf("duplicate deploy error = %v, want ErrAlreadyDeployed", err)
+	}
+}
+
+func TestDeployPipelineRedeployIsAlreadyDeployed(t *testing.T) {
+	e := newTestEngine(t, Limits{}, upper)
+	manifest := []byte(`{"name": "p", "chain": [{"filter": "upper"}]}`)
+	if err := e.DeployManifest(manifest); err != nil {
+		t.Fatal(err)
+	}
+	// Redeploying the same pipeline is idempotent from a deploy flow's view:
+	// it reports ErrAlreadyDeployed, which callers treat as success.
+	if err := e.DeployManifest(manifest); !errors.Is(err, ErrAlreadyDeployed) {
+		t.Fatalf("pipeline redeploy: want ErrAlreadyDeployed, got %v", err)
+	}
+	// And the original deployment still works.
+	if got, err := runTask(t, e, "p", "hi"); err != nil || got != "HI" {
+		t.Fatalf("pipeline after redeploy: %q, %v", got, err)
+	}
+}
+
+func TestRunChainPropagatesFirstStageError(t *testing.T) {
+	boom := FilterFunc{FilterName: "boom", Fn: func(_ *Context, _ io.Reader, _ io.Writer) error {
+		return fmt.Errorf("first stage exploded")
+	}}
+	e := newTestEngine(t, Limits{}, boom, upper, reverse)
+	base := &Context{RangeEnd: 3, ObjectSize: 3}
+	tasks := []*pushdown.Task{{Filter: "boom"}, {Filter: "upper"}, {Filter: "reverse"}}
+	rc, err := e.RunChain(base, tasks, strings.NewReader("abc"))
+	if err != nil {
+		t.Fatalf("chain start: %v", err)
+	}
+	defer rc.Close()
+	_, err = io.ReadAll(rc)
+	var fe *FilterError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FilterError, got %v", err)
+	}
+	if fe.Filter != "boom" {
+		t.Fatalf("error attributed to %q, want the FIRST failing stage %q", fe.Filter, "boom")
+	}
+	if !strings.Contains(err.Error(), "first stage exploded") {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestPipelineManifestPropagatesContext(t *testing.T) {
+	// A pipeline macro must forward Context.Ctx to its stages: a filter that
+	// inspects ctx.Ctx sees the request context, not nil.
+	gotCtx := make(chan bool, 1)
+	probe := FilterFunc{FilterName: "probe", Fn: func(ctx *Context, in io.Reader, out io.Writer) error {
+		gotCtx <- ctx.Ctx != nil
+		_, err := io.Copy(out, in)
+		return err
+	}}
+	e := newTestEngine(t, Limits{}, probe)
+	if err := e.DeployManifest([]byte(`{"name": "p", "chain": [{"filter": "probe"}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{
+		Ctx:      context.Background(),
+		Task:     &pushdown.Task{Filter: "p"},
+		RangeEnd: 2, ObjectSize: 2,
+	}
+	rc, err := e.Run(ctx, strings.NewReader("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := io.ReadAll(rc); err != nil {
+		t.Fatal(err)
+	}
+	if !<-gotCtx {
+		t.Fatal("pipeline stage did not receive Context.Ctx")
 	}
 }
 

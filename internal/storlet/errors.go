@@ -1,0 +1,50 @@
+package storlet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed invocation errors. The convention matches the object store's
+// *ReplicationError: a sentinel names the category (match with errors.Is)
+// and a wrapper struct carries the detail (extract with errors.As). Every
+// error delivered by a sandboxed invocation is a *FilterError wrapping one
+// of these sentinels or the filter's own error, so callers up the stack —
+// the proxy's 503 mapping, the connector's fallback decision — never parse
+// message strings.
+var (
+	// ErrNotDeployed is returned when a task names a filter the engine does
+	// not have.
+	ErrNotDeployed = errors.New("storlet: filter not deployed")
+	// ErrFilterTimeout is returned when an invocation exceeds Limits.Timeout.
+	ErrFilterTimeout = errors.New("storlet: filter timed out")
+	// ErrOutputLimit is returned when an invocation exceeds
+	// Limits.MaxOutputBytes.
+	ErrOutputLimit = errors.New("storlet: output limit exceeded")
+	// ErrOverloaded is the admission-control rejection: MaxConcurrent slots
+	// are all busy and the wait queue is full or the wait deadline passed.
+	// It fires before a sandbox goroutine is spawned, so shedding load under
+	// saturation costs nothing.
+	ErrOverloaded = errors.New("storlet: engine overloaded")
+	// ErrBreakerOpen is returned when the filter's circuit breaker refuses
+	// the invocation (the filter has been failing persistently).
+	ErrBreakerOpen = errors.New("storlet: filter circuit breaker open")
+)
+
+// FilterError attributes an invocation failure to the filter that caused it.
+// Unwrap exposes the cause so errors.Is finds the sentinels above (and any
+// error the filter itself returned) through the wrapper.
+type FilterError struct {
+	// Filter is the name of the filter whose invocation failed.
+	Filter string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *FilterError) Error() string {
+	return fmt.Sprintf("storlet: filter %q: %v", e.Filter, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *FilterError) Unwrap() error { return e.Err }

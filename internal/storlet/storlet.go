@@ -9,14 +9,22 @@
 // converted to request errors, invocations are bounded by a deadline and an
 // output cap, and per-filter resource usage (bytes in/out, CPU-ish wall
 // time) is accounted — the properties the paper's evaluation measures.
+//
+// The engine is also the first rung of the degradation ladder (DESIGN §8):
+// when the store cannot run a filter — saturated, persistently failing,
+// not deployed — it says so *before* producing any bytes, with a typed
+// error the HTTP layer turns into a retriable 503 and the connector turns
+// into a compute-side fallback.
 package storlet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scoop/internal/pushdown"
@@ -24,6 +32,10 @@ import (
 
 // Context carries per-invocation information to a filter.
 type Context struct {
+	// Ctx is the request context. The engine uses it to abort slot-queue
+	// waits when the caller gives up; filters may use it to abort long
+	// stalls. A nil Ctx means "never cancelled".
+	Ctx context.Context
 	// Task is the pushdown task extracted from the request metadata.
 	Task *pushdown.Task
 	// RangeStart and RangeEnd are the absolute byte range of the request
@@ -74,6 +86,12 @@ type Stats struct {
 	BytesIn     int64
 	BytesOut    int64
 	WallTime    time.Duration
+	// Rejections counts invocations refused before a sandbox goroutine was
+	// spawned: breaker-open refusals and admission-control overload.
+	Rejections int64
+	// BreakerOpens counts closed→open transitions of this filter's circuit
+	// breaker.
+	BreakerOpens int64
 }
 
 // Limits bound a single filter invocation.
@@ -87,6 +105,20 @@ type Limits struct {
 	// the paper's §VII discusses; excess requests queue. A pipelined chain
 	// counts as one request.
 	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for a slot when all
+	// MaxConcurrent slots are busy. 0 keeps the historical behavior
+	// (unbounded wait, still abortable via Context.Ctx / QueueWait);
+	// a negative value rejects immediately when saturated; a positive
+	// value admits at most that many waiters and sheds the rest with
+	// ErrOverloaded.
+	MaxQueue int
+	// QueueWait bounds how long a request may wait for a slot before being
+	// shed with ErrOverloaded (0 = wait until the request context is
+	// cancelled).
+	QueueWait time.Duration
+	// Breaker configures the per-filter circuit breaker. The zero value
+	// (Threshold 0) disables it.
+	Breaker BreakerPolicy
 }
 
 // Engine is the filter registry and sandboxed execution environment — the
@@ -97,17 +129,21 @@ type Engine struct {
 	filters   map[string]Filter
 	stats     map[string]*Stats
 	factories map[string]Factory
+	breakers  map[string]*breaker
 	limits    Limits
 	// slots is the concurrency semaphore when MaxConcurrent > 0.
 	slots chan struct{}
+	// waiting counts requests queued for a slot (bounded by MaxQueue > 0).
+	waiting atomic.Int64
 }
 
 // NewEngine returns an engine with the given limits.
 func NewEngine(limits Limits) *Engine {
 	e := &Engine{
-		filters: make(map[string]Filter),
-		stats:   make(map[string]*Stats),
-		limits:  limits,
+		filters:  make(map[string]Filter),
+		stats:    make(map[string]*Stats),
+		breakers: make(map[string]*breaker),
+		limits:   limits,
 	}
 	if limits.MaxConcurrent > 0 {
 		e.slots = make(chan struct{}, limits.MaxConcurrent)
@@ -140,7 +176,7 @@ func (e *Engine) Unregister(name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.filters[name]; !ok {
-		return fmt.Errorf("storlet: filter %q not deployed", name)
+		return fmt.Errorf("%w: %q", ErrNotDeployed, name)
 	}
 	delete(e.filters, name)
 	return nil
@@ -169,17 +205,120 @@ func (e *Engine) Names() []string {
 // StatsFor returns a copy of the accounting for one filter.
 func (e *Engine) StatsFor(name string) Stats {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if s, ok := e.stats[name]; ok {
-		return *s
+	s, ok := e.stats[name]
+	br := e.breakers[name]
+	var out Stats
+	if ok {
+		out = *s
 	}
-	return Stats{}
+	e.mu.RUnlock()
+	if br != nil {
+		out.BreakerOpens = br.openCount()
+	}
+	return out
+}
+
+// BreakerState reports the circuit-breaker state for a filter: "closed",
+// "open", or "half-open". A filter without a breaker (policy disabled or
+// never invoked) reports "closed".
+func (e *Engine) BreakerState(name string) string {
+	e.mu.RLock()
+	br := e.breakers[name]
+	e.mu.RUnlock()
+	if br == nil {
+		return "closed"
+	}
+	return br.stateName()
+}
+
+// breakerFor returns the filter's breaker, creating it on first use, or nil
+// when the policy is disabled.
+func (e *Engine) breakerFor(name string) *breaker {
+	if e.limits.Breaker.Threshold <= 0 {
+		return nil
+	}
+	e.mu.RLock()
+	br := e.breakers[name]
+	e.mu.RUnlock()
+	if br != nil {
+		return br
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if br = e.breakers[name]; br == nil {
+		br = newBreaker(name, e.limits.Breaker)
+		e.breakers[name] = br
+	}
+	return br
+}
+
+// countRejection accounts an invocation refused before sandboxing.
+func (e *Engine) countRejection(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.stats[name]
+	if !ok {
+		s = &Stats{}
+		e.stats[name] = s
+	}
+	s.Rejections++
+}
+
+// acquire claims a concurrency slot, queueing within the admission-control
+// bounds. It returns ErrOverloaded when the wait queue is full or QueueWait
+// elapses, and the context error when rctx is cancelled while queued. It
+// runs on the REQUESTER's goroutine — a shed request never spawns a sandbox
+// goroutine, which is both the load-shedding point and the fix for the old
+// leak where a sandbox goroutine parked on `e.slots <-` forever after its
+// caller walked away.
+func (e *Engine) acquire(rctx context.Context) error {
+	select {
+	case e.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// Saturated: join the wait queue if admission control allows.
+	if e.limits.MaxQueue < 0 {
+		return fmt.Errorf("%w: %d slots busy", ErrOverloaded, e.limits.MaxConcurrent)
+	}
+	if e.limits.MaxQueue > 0 {
+		for {
+			w := e.waiting.Load()
+			if w >= int64(e.limits.MaxQueue) {
+				return fmt.Errorf("%w: %d slots busy, %d queued", ErrOverloaded, e.limits.MaxConcurrent, w)
+			}
+			if e.waiting.CompareAndSwap(w, w+1) {
+				break
+			}
+		}
+		defer e.waiting.Add(-1)
+	}
+	var done <-chan struct{}
+	if rctx != nil {
+		done = rctx.Done()
+	}
+	var deadline <-chan time.Time
+	if e.limits.QueueWait > 0 {
+		timer := time.NewTimer(e.limits.QueueWait)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	select {
+	case e.slots <- struct{}{}:
+		return nil
+	case <-done:
+		return fmt.Errorf("storlet: slot wait aborted: %w", rctx.Err())
+	case <-deadline:
+		return fmt.Errorf("%w: no slot within %v", ErrOverloaded, e.limits.QueueWait)
+	}
 }
 
 // Run executes the task's filter over in, returning the filtered stream.
 // The filter runs in its own goroutine (the sandbox); a panic, timeout or
-// output overrun surfaces as an error from the returned reader. The caller
-// must drain and close the returned reader.
+// output overrun surfaces as a *FilterError from the returned reader. The
+// caller must drain and close the returned reader. Admission failures —
+// ErrOverloaded, ErrBreakerOpen, ErrNotDeployed — are returned up-front,
+// before any byte is produced.
 func (e *Engine) Run(ctx *Context, in io.Reader) (io.ReadCloser, error) {
 	return e.run(ctx, in, true)
 }
@@ -191,25 +330,55 @@ func (e *Engine) run(ctx *Context, in io.Reader, acquireSlot bool) (io.ReadClose
 	if ctx == nil || ctx.Task == nil {
 		return nil, errors.New("storlet: nil context or task")
 	}
-	f, ok := e.Get(ctx.Task.Filter)
+	name := ctx.Task.Filter
+	f, ok := e.Get(name)
 	if !ok {
-		return nil, fmt.Errorf("storlet: filter %q not deployed", ctx.Task.Filter)
+		return nil, fmt.Errorf("%w: %q", ErrNotDeployed, name)
+	}
+	br := e.breakerFor(name)
+	var probe bool
+	if br != nil {
+		admitted, p := br.admit()
+		if !admitted {
+			e.countRejection(name)
+			return nil, &FilterError{Filter: name, Err: ErrBreakerOpen}
+		}
+		probe = p
+	}
+	holdsSlot := acquireSlot && e.slots != nil
+	if holdsSlot {
+		if err := e.acquire(ctx.Ctx); err != nil {
+			e.countRejection(name)
+			if br != nil {
+				// Says nothing about the filter's health; an inconclusive
+				// probe re-arms the open breaker.
+				br.record(err, probe, false)
+			}
+			return nil, &FilterError{Filter: name, Err: err}
+		}
 	}
 	pr, pw := io.Pipe()
 	cin := &countingReader{r: in}
 	cout := &countingWriter{w: pw, max: e.limits.MaxOutputBytes}
 	start := time.Now()
 	done := make(chan struct{})
+	var timedOut atomic.Bool
 	go func() {
 		defer close(done)
-		if acquireSlot && e.slots != nil {
-			// Queue for a CPU slot; the requester blocks on the pipe until
-			// the filter actually starts producing.
-			e.slots <- struct{}{}
+		if holdsSlot {
 			defer func() { <-e.slots }()
 		}
 		err := invokeSafely(f, ctx, cin, cout)
-		e.account(ctx.Task.Filter, cin.n, cout.n, time.Since(start), err)
+		if timedOut.Load() && (err == nil || errors.Is(err, io.ErrClosedPipe)) {
+			// The deadline closed the pipe out from under the filter; its
+			// writes saw ErrClosedPipe but the real cause is the timeout.
+			err = timeoutError(name, e.limits.Timeout)
+		}
+		err = wrapFilterError(name, err)
+		e.account(name, cin.n, cout.n, time.Since(start), err)
+		if br != nil {
+			br.record(err, probe, countableFailure(name, err))
+		}
 		pw.CloseWithError(err)
 	}()
 	if e.limits.Timeout > 0 {
@@ -217,7 +386,8 @@ func (e *Engine) run(ctx *Context, in io.Reader, acquireSlot bool) (io.ReadClose
 		// reader (CloseWithError on the read side would mask it with
 		// ErrClosedPipe) and makes the runaway filter's next write fail.
 		timer := time.AfterFunc(e.limits.Timeout, func() {
-			pw.CloseWithError(fmt.Errorf("storlet: filter %q timed out after %v", ctx.Task.Filter, e.limits.Timeout))
+			timedOut.Store(true)
+			pw.CloseWithError(timeoutError(name, e.limits.Timeout))
 		})
 		go func() {
 			<-done
@@ -225,6 +395,41 @@ func (e *Engine) run(ctx *Context, in io.Reader, acquireSlot bool) (io.ReadClose
 		}()
 	}
 	return pr, nil
+}
+
+func timeoutError(name string, d time.Duration) error {
+	return &FilterError{Filter: name, Err: fmt.Errorf("%w after %v", ErrFilterTimeout, d)}
+}
+
+// wrapFilterError attributes err to the named filter unless it is already a
+// *FilterError (its own, or one propagated from an upstream chain stage).
+func wrapFilterError(name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var fe *FilterError
+	if errors.As(err, &fe) {
+		return err
+	}
+	return &FilterError{Filter: name, Err: err}
+}
+
+// countableFailure reports whether err should count against the named
+// filter's breaker. Failures that say nothing about the filter's health do
+// not: the caller abandoned the stream (bare ErrClosedPipe), or an upstream
+// chain stage failed first and this stage merely propagated its error.
+func countableFailure(name string, err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, ErrFilterTimeout) {
+		return false
+	}
+	var fe *FilterError
+	if errors.As(err, &fe) && fe.Filter != name {
+		return false
+	}
+	return true
 }
 
 // RunChain pipes in through each task's filter in order (pipelining). Every
@@ -237,6 +442,7 @@ func (e *Engine) RunChain(base *Context, tasks []*pushdown.Task, in io.Reader) (
 	var cur io.ReadCloser = io.NopCloser(in)
 	for i, task := range tasks {
 		ctx := &Context{
+			Ctx:        base.Ctx,
 			Task:       task,
 			ObjectSize: base.ObjectSize,
 			Log:        base.Log,
@@ -278,7 +484,7 @@ func (e *Engine) account(name string, in, out int64, wall time.Duration, err err
 func invokeSafely(f Filter, ctx *Context, in io.Reader, out io.Writer) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("storlet: filter %q panicked: %v", f.Name(), r)
+			err = fmt.Errorf("panicked: %v", r)
 		}
 	}()
 	return f.Invoke(ctx, in, out)
@@ -295,9 +501,6 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// errOutputLimit is returned when a filter exceeds its output budget.
-var errOutputLimit = errors.New("storlet: output limit exceeded")
-
 type countingWriter struct {
 	w   io.Writer
 	n   int64
@@ -306,7 +509,7 @@ type countingWriter struct {
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	if c.max > 0 && c.n+int64(len(p)) > c.max {
-		return 0, errOutputLimit
+		return 0, ErrOutputLimit
 	}
 	n, err := c.w.Write(p)
 	c.n += int64(n)
