@@ -65,6 +65,10 @@ type Connector struct {
 	// compute-side after the store refuses or aborts them.
 	fbEngine  *storlet.Engine
 	fbMetrics *metrics.Registry
+	// determinism gates fallback per chain: replaying a filter (and
+	// discarding its delivered prefix) is only sound when the filter is
+	// proven deterministic. Defaults to the generated detmanifest.
+	determinism func(name string) bool
 
 	bytesIngested atomic.Int64
 	requests      atomic.Int64
@@ -142,14 +146,14 @@ func (c *Connector) Open(ctx context.Context, split Split, tasks []*pushdown.Tas
 	}
 	rc, _, err := c.client.GetObject(ctx, split.Account, split.Container, split.Object, opts)
 	if err != nil {
-		if len(tasks) > 0 && c.fbEngine != nil && degradable(err) {
+		if len(tasks) > 0 && c.fbEngine != nil && degradable(err) && c.chainProven(tasks) {
 			return c.openFallback(ctx, split, tasks, 0, err)
 		}
 		return nil, fmt.Errorf("connector: open %s: %w", split, err)
 	}
 	c.requests.Add(1)
 	stream := &counted{rc: rc, n: &c.bytesIngested}
-	if len(tasks) > 0 && c.fbEngine != nil {
+	if len(tasks) > 0 && c.fbEngine != nil && c.chainProven(tasks) {
 		return &fallbackReader{c: c, ctx: ctx, split: split, tasks: tasks, rc: stream}, nil
 	}
 	return stream, nil

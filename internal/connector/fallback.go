@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"scoop/internal/detmanifest"
 	"scoop/internal/metrics"
 	"scoop/internal/objectstore"
 	"scoop/internal/pushdown"
@@ -26,9 +27,39 @@ import (
 // must have the same filters registered as the store's engine (core wires
 // both from the same registration list); reg (nil-safe) receives the
 // "connector.pushdown.fallbacks" counter.
+//
+// Arming is gated per request by the determinism manifest: falling back —
+// especially mid-stream, where the delivered prefix of the re-run is
+// discarded — is only sound when every filter in the chain provably maps
+// identical inputs to identical bytes. Chains containing an unproven filter
+// behave as if NoFallback were set and surface the store's typed error.
 func (c *Connector) EnableFallback(engine *storlet.Engine, reg *metrics.Registry) {
 	c.fbEngine = engine
 	c.fbMetrics = reg
+	if c.determinism == nil {
+		c.determinism = detmanifest.IsProven
+	}
+}
+
+// SetDeterminism overrides the proof source consulted by the fallback gate
+// (default: the generated detmanifest). Tests registering ad-hoc filters use
+// it to vouch for — or disavow — their fixtures.
+func (c *Connector) SetDeterminism(proven func(name string) bool) {
+	c.determinism = proven
+}
+
+// chainProven reports whether every filter in the task chain is proven
+// deterministic, i.e. whether compute-side replay is sound.
+func (c *Connector) chainProven(tasks []*pushdown.Task) bool {
+	if c.determinism == nil {
+		return false
+	}
+	for _, t := range tasks {
+		if !c.determinism(t.Filter) {
+			return false
+		}
+	}
+	return true
 }
 
 // degradable reports whether a pushdown failure should be degraded to a

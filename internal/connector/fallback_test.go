@@ -133,6 +133,8 @@ func TestFallbackMidStreamResync(t *testing.T) {
 	}
 	conn := New(cl, "gp", 0)
 	conn.EnableFallback(fbEngine(t, localUp), metrics.NewRegistry())
+	// "up" is a test-local filter the manifest has never seen; vouch for it.
+	conn.SetDeterminism(func(string) bool { return true })
 	if _, err := conn.Upload(context.Background(), "meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
 		t.Fatal(err)
 	}
@@ -180,6 +182,7 @@ func TestFallbackOnlyOnce(t *testing.T) {
 	_ = cl.CreateContainer(context.Background(), "gp", "meters", nil)
 	conn := New(cl, "gp", 0)
 	conn.EnableFallback(fbEngine(t, crash("up")), nil) // nil registry: metrics are optional
+	conn.SetDeterminism(func(string) bool { return true })
 	if _, err := conn.Upload(context.Background(), "meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
 		t.Fatal(err)
 	}
@@ -194,6 +197,57 @@ func TestFallbackOnlyOnce(t *testing.T) {
 	}
 	if st := conn.Stats(); st.Fallbacks != 1 {
 		t.Errorf("Fallbacks = %d, want exactly 1", st.Fallbacks)
+	}
+}
+
+// The determinism manifest gates fallback per chain: a filter the filterdet
+// analyzer has not proven deterministic (here: an ad-hoc name absent from the
+// generated manifest) auto-arms NoFallback behavior — the refusal surfaces
+// typed even though a fallback engine is armed — while a chain of proven
+// filters on the same connector still degrades transparently.
+func TestUnprovenFilterDisablesFallback(t *testing.T) {
+	cl := bareStore(t)
+	conn := New(cl, "gp", 0)
+	shady := storlet.FilterFunc{FilterName: "shady", Fn: func(_ *storlet.Context, in io.Reader, out io.Writer) error {
+		_, err := io.Copy(out, in)
+		return err
+	}}
+	// EnableFallback defaults the gate to the generated detmanifest, which
+	// knows "csv" (proven) and has never heard of "shady".
+	conn.EnableFallback(fbEngine(t, csvfilter.New(), shady), metrics.NewRegistry())
+	if _, err := conn.Upload(context.Background(), "meters", "jan.csv", strings.NewReader(meterCSV)); err != nil {
+		t.Fatal(err)
+	}
+	split := wholeSplit("jan.csv", int64(len(meterCSV)))
+
+	_, err := conn.Open(context.Background(), split, []*pushdown.Task{{Filter: "shady"}})
+	if err == nil || !objectstore.IsPushdownUnavailable(err) {
+		t.Fatalf("unproven filter error = %v, want pushdown-unavailable (fallback must stay disarmed)", err)
+	}
+	// A mixed chain is as weak as its weakest link.
+	_, err = conn.Open(context.Background(), split, []*pushdown.Task{fraTask, {Filter: "shady"}})
+	if err == nil || !objectstore.IsPushdownUnavailable(err) {
+		t.Fatalf("mixed chain error = %v, want pushdown-unavailable", err)
+	}
+	if st := conn.Stats(); st.Fallbacks != 0 {
+		t.Fatalf("Fallbacks = %d, want 0 for unproven chains", st.Fallbacks)
+	}
+
+	// The proven chain on the very same connector still falls back.
+	rc, err := conn.Open(context.Background(), split, []*pushdown.Task{fraTask})
+	if err != nil {
+		t.Fatalf("proven chain should still degrade: %v", err)
+	}
+	b, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(b)); got != "V2" {
+		t.Errorf("proven-chain fallback output = %q, want V2", got)
+	}
+	if st := conn.Stats(); st.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1 (proven chain only)", st.Fallbacks)
 	}
 }
 

@@ -7,9 +7,17 @@
 // The graph is CHA-style (class-hierarchy analysis): a call through an
 // interface method conservatively fans out to every concrete method in the
 // module that could satisfy the dispatch. Calls through plain function values
-// (fields, parameters of func type) produce no edge — resolving those needs
-// SSA-level value tracking, which is out of scope for a stdlib-only engine
-// and recorded as an open item in ROADMAP.md.
+// (variables, struct fields, parameters of func type) are resolved by a
+// flow-insensitive local dataflow layer: every function literal or declared
+// function assigned to a variable or field — through plain assignments,
+// composite literals, and call arguments — is recorded as a possible binding
+// of that variable, bindings propagate through var-to-var copies to a
+// fixpoint, and a call through the variable fans out to every binding as a
+// Flow edge. A func value with no resolvable binding in the module (an
+// engine-supplied hook, a value produced by a call) stays unresolved: the
+// call site produces no edge rather than a wrong one. Flows through
+// channels, maps, slices, and return values are not tracked (that would need
+// SSA); the layer is deliberately may-alias and context-insensitive.
 //
 // Node granularity is one node per declared function or method plus one node
 // per function literal. Functions outside the module (the standard library)
@@ -53,6 +61,10 @@ const (
 	// Conservative: the literal may be invoked inline, deferred, spawned, or
 	// escape through a variable.
 	Lit
+	// Flow is a call through a func value (variable, struct field, or
+	// parameter) resolved by the dataflow layer: the callee is one function
+	// that may have been assigned to the value somewhere in the module.
+	Flow
 )
 
 // String names the kind for diagnostics.
@@ -66,6 +78,8 @@ func (k EdgeKind) String() string {
 		return "impl"
 	case Lit:
 		return "lit"
+	case Flow:
+		return "flow"
 	}
 	return fmt.Sprintf("EdgeKind(%d)", int(k))
 }
@@ -140,6 +154,9 @@ type Graph struct {
 	// methodIndex lists every concrete named type declared in the module,
 	// for CHA dispatch resolution.
 	concrete []types.Type
+	// bindings maps each func-typed variable, field, or parameter to the
+	// functions that may flow into it (the dataflow layer's result).
+	bindings map[*types.Var][]*Node
 }
 
 // Build constructs the graph for the given units.
@@ -160,6 +177,7 @@ func Build(units []*Unit) *Graph {
 			g.addDeclNodes(u, f)
 		}
 	}
+	g.collectBindings()
 	for _, u := range units {
 		for _, f := range u.Files {
 			for _, decl := range f.Decls {
@@ -322,19 +340,25 @@ func (g *Graph) addCallEdges(u *Unit, from *Node, call *ast.CallExpr, isGo bool)
 	case *ast.Ident:
 		if fn, ok := u.Info.Uses[fun].(*types.Func); ok {
 			g.connect(&Edge{Caller: from, Callee: g.FuncNode(fn), Site: call.Pos(), Kind: Static, Go: isGo})
+			return
 		}
+		g.flowEdges(u, from, call, isGo)
 	case *ast.SelectorExpr:
 		sel, ok := u.Info.Selections[fun]
 		if !ok {
 			// Package-qualified call: pkg.Fn(...).
 			if fn, ok := u.Info.Uses[fun.Sel].(*types.Func); ok {
 				g.connect(&Edge{Caller: from, Callee: g.FuncNode(fn), Site: call.Pos(), Kind: Static, Go: isGo})
+				return
 			}
+			g.flowEdges(u, from, call, isGo)
 			return
 		}
 		fn, ok := sel.Obj().(*types.Func)
 		if !ok {
-			return // call through a func-typed field: no edge (documented gap)
+			// Call through a func-typed field: resolve via the dataflow layer.
+			g.flowEdges(u, from, call, isGo)
+			return
 		}
 		recv := sel.Recv()
 		if sel.Kind() == types.MethodExpr {
@@ -351,6 +375,20 @@ func (g *Graph) addCallEdges(u *Unit, from *Node, call *ast.CallExpr, isGo bool)
 			return
 		}
 		g.connect(&Edge{Caller: from, Callee: g.FuncNode(fn), Site: call.Pos(), Kind: Static, Go: isGo})
+	}
+}
+
+// flowEdges adds one Flow edge per dataflow binding of the func value the
+// call dispatches through. An unresolved value (no bindings) adds nothing:
+// the site stays visibly unresolved rather than being wrongly pruned or
+// wrongly connected.
+func (g *Graph) flowEdges(u *Unit, from *Node, call *ast.CallExpr, isGo bool) {
+	v := flowTarget(u.Info, call.Fun)
+	if v == nil {
+		return
+	}
+	for _, callee := range g.bindings[v] {
+		g.connect(&Edge{Caller: from, Callee: callee, Site: call.Pos(), Kind: Flow, Go: isGo})
 	}
 }
 

@@ -176,3 +176,186 @@ func TestGoFlagAndLiteralEdges(t *testing.T) {
 		t.Errorf("literal node has empty name")
 	}
 }
+
+// flowSrc is a second mini-module exercising the dataflow layer: func values
+// flowing through plain assignments, struct fields, composite literals, call
+// arguments, and var-to-var copies — plus one value that never receives a
+// resolvable binding.
+const flowSrc = `package flow
+
+func target() int { return 1 }
+
+func other() int { return 2 }
+
+func viaVar() int {
+	f := target
+	g := f // var-to-var copy
+	return g()
+}
+
+type holder struct {
+	hook func() int
+	name string
+}
+
+func viaField() int {
+	h := holder{hook: target, name: "x"}
+	return h.hook()
+}
+
+func viaPositional() int {
+	h := holder{other, "y"}
+	return h.hook()
+}
+
+func invoke(cb func() int) int { return cb() }
+
+func viaArg() int { return invoke(target) }
+
+func viaVariadic() int { return invokeAll(target, other) }
+
+func invokeAll(cbs ...func() int) int {
+	n := 0
+	for _, cb := range cbs {
+		n += cb()
+	}
+	return n
+}
+
+// external is never assigned in the module: an engine-supplied hook.
+var external func() int
+
+func viaUnresolved() int {
+	if external != nil {
+		return external()
+	}
+	return 0
+}
+
+func viaLit() int {
+	f := func() int { return target() }
+	return f()
+}
+`
+
+func buildFlow(t *testing.T) (*Graph, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", flowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("flow", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	g := Build([]*Unit{{Path: "flow", Fset: fset, Files: []*ast.File{file}, Types: pkg, Info: info}})
+	return g, pkg
+}
+
+// flowEdgeTo reports whether from has a Flow edge to a function named callee.
+func flowEdgeTo(from *Node, callee string) bool {
+	for _, e := range from.Out {
+		if e.Kind == Flow && e.Callee.Func != nil && e.Callee.Func.Name() == callee {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFlowEdgesThroughAssignments(t *testing.T) {
+	g, pkg := buildFlow(t)
+	via := fn(t, g, pkg, "viaVar")
+	if !flowEdgeTo(via, "target") {
+		t.Errorf("viaVar should have a Flow edge to target (var-to-var copy)")
+	}
+	if flowEdgeTo(via, "other") {
+		t.Errorf("viaVar must not be connected to other")
+	}
+	if _, ok := g.Reach([]*Node{via}, nil)[fn(t, g, pkg, "target")]; !ok {
+		t.Errorf("viaVar should reach target through the Flow edge")
+	}
+}
+
+func TestFlowEdgesThroughStructFields(t *testing.T) {
+	g, pkg := buildFlow(t)
+	if !flowEdgeTo(fn(t, g, pkg, "viaField"), "target") {
+		t.Errorf("viaField should resolve h.hook() to target (keyed composite literal)")
+	}
+	// The field's binding set is field-wide (flow-insensitive): both target
+	// (keyed) and other (positional) flow into holder.hook, so both appear.
+	if !flowEdgeTo(fn(t, g, pkg, "viaPositional"), "other") {
+		t.Errorf("viaPositional should resolve h.hook() to other (positional composite literal)")
+	}
+}
+
+func TestFlowEdgesThroughCallArguments(t *testing.T) {
+	g, pkg := buildFlow(t)
+	invoke := fn(t, g, pkg, "invoke")
+	if !flowEdgeTo(invoke, "target") {
+		t.Errorf("invoke's cb() should resolve to target (call-argument binding)")
+	}
+	all := fn(t, g, pkg, "invokeAll")
+	for _, want := range []string{"target", "other"} {
+		if !flowEdgeTo(all, want) {
+			t.Errorf("invokeAll's cb() should resolve to %s (variadic binding)", want)
+		}
+	}
+	if _, ok := g.Reach([]*Node{fn(t, g, pkg, "viaArg")}, nil)[fn(t, g, pkg, "target")]; !ok {
+		t.Errorf("viaArg should reach target through invoke's parameter")
+	}
+}
+
+// TestUnresolvedFuncValueStaysUnresolved is the negative case: a func value
+// never assigned a resolvable function produces no edges — the call site is
+// unresolved, not wrongly connected and not wrongly pruned elsewhere.
+func TestUnresolvedFuncValueStaysUnresolved(t *testing.T) {
+	g, pkg := buildFlow(t)
+	via := fn(t, g, pkg, "viaUnresolved")
+	for _, e := range via.Out {
+		if e.Kind == Flow {
+			t.Errorf("viaUnresolved should have no Flow edges, got one to %s", e.Callee.Name())
+		}
+	}
+	// The unresolved value must not contaminate resolved sites: viaVar's
+	// edges are unaffected by external's presence.
+	if !flowEdgeTo(fn(t, g, pkg, "viaVar"), "target") {
+		t.Errorf("resolved sites must keep their edges when an unresolved value exists")
+	}
+}
+
+func TestReachFilterExcludesFlowEdges(t *testing.T) {
+	g, pkg := buildFlow(t)
+	via := fn(t, g, pkg, "viaVar")
+	tree := g.Reach([]*Node{via}, func(e *Edge) bool { return e.Kind != Flow })
+	if _, ok := tree[fn(t, g, pkg, "target")]; ok {
+		t.Errorf("filtered reach should not cross Flow edges")
+	}
+	// Path through a Flow edge reconstructs with the flow kind visible.
+	full := g.Reach([]*Node{via}, nil)
+	path := Path(full, fn(t, g, pkg, "target"))
+	if len(path) != 1 || path[0].Kind != Flow {
+		t.Fatalf("Path(viaVar..target) = %v, want one Flow edge", path)
+	}
+	if path[0].Kind.String() != "flow" {
+		t.Errorf("Flow kind renders %q, want \"flow\"", path[0].Kind.String())
+	}
+}
+
+func TestFlowThroughLiteralBinding(t *testing.T) {
+	g, pkg := buildFlow(t)
+	via := fn(t, g, pkg, "viaLit")
+	tree := g.Reach([]*Node{via}, nil)
+	if _, ok := tree[fn(t, g, pkg, "target")]; !ok {
+		t.Errorf("viaLit should reach target through the literal bound to f")
+	}
+}

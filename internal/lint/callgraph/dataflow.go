@@ -1,0 +1,305 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The dataflow layer: a flow-insensitive, context-insensitive resolution of
+// calls through func values. It answers one question — "which functions may
+// this variable/field/parameter hold?" — by scanning every assignment shape
+// in the module and propagating var-to-var copies to a fixpoint. It is the
+// stdlib-only stand-in for SSA value tracking: coarser (one binding set per
+// variable for the whole program, order of assignments ignored) but sound in
+// the direction analyzers need — a binding set over-approximates what a call
+// site can invoke, and an EMPTY set means "unresolved", never "provably
+// nothing".
+//
+// Tracked assignment shapes:
+//
+//	x = fn / x := fn / var x = fn      plain assignment and declaration
+//	T{Field: fn} / T{fn}               composite literals, keyed or positional
+//	callee(fn)                         call argument -> callee's parameter
+//	x = y                              var-to-var copy (propagated to fixpoint)
+//
+// Not tracked (documented gaps, shared with the ROADMAP's "no SSA" note):
+// values returned from calls, values read out of maps/slices/channels, and
+// bindings established through interface dispatch into an implementation's
+// parameters.
+
+// collectBindings builds the module-wide binding sets. Must run after
+// addDeclNodes (it needs lit nodes) and before edge construction.
+func (g *Graph) collectBindings() {
+	funcSets := map[*types.Var]map[*Node]bool{}
+	varFlow := map[*types.Var]map[*types.Var]bool{}
+
+	addFunc := func(dst *types.Var, n *Node) {
+		if dst == nil || n == nil {
+			return
+		}
+		if funcSets[dst] == nil {
+			funcSets[dst] = map[*Node]bool{}
+		}
+		funcSets[dst][n] = true
+	}
+	addVar := func(dst, src *types.Var) {
+		if dst == nil || src == nil || dst == src {
+			return
+		}
+		if varFlow[dst] == nil {
+			varFlow[dst] = map[*types.Var]bool{}
+		}
+		varFlow[dst][src] = true
+	}
+	// bind records one value flowing into one destination variable.
+	bind := func(u *Unit, dst *types.Var, value ast.Expr) {
+		nodes, src := g.funcValue(u, value)
+		for _, n := range nodes {
+			addFunc(dst, n)
+		}
+		addVar(dst, src)
+	}
+
+	for _, u := range g.Units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					if len(x.Lhs) != len(x.Rhs) {
+						return true // multi-value from a call: unresolvable
+					}
+					for i, lhs := range x.Lhs {
+						bind(u, assignTarget(u.Info, lhs), x.Rhs[i])
+					}
+				case *ast.ValueSpec:
+					if len(x.Names) != len(x.Values) {
+						return true
+					}
+					for i, name := range x.Names {
+						v, _ := u.Info.Defs[name].(*types.Var)
+						bind(u, v, x.Values[i])
+					}
+				case *ast.RangeStmt:
+					// Ranging over a bound func-typed collection (the variadic
+					// parameter shape: funcs bound to cbs, consumed via
+					// `for _, cb := range cbs`) copies the source's bindings
+					// into the range value variable.
+					if value, ok := x.Value.(*ast.Ident); ok {
+						bind(u, assignTarget(u.Info, value), x.X)
+					}
+				case *ast.CompositeLit:
+					g.bindCompositeLit(u, x, bind)
+				case *ast.CallExpr:
+					g.bindCallArgs(u, x, bind)
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate var-to-var copies to a fixpoint. Sets only grow, so the
+	// loop terminates; iteration order does not affect the result.
+	for changed := true; changed; {
+		changed = false
+		for dst, srcs := range varFlow {
+			for src := range srcs {
+				for n := range funcSets[src] {
+					if !funcSets[dst][n] {
+						addFunc(dst, n)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	g.bindings = make(map[*types.Var][]*Node, len(funcSets))
+	for v, set := range funcSets {
+		nodes := make([]*Node, 0, len(set))
+		for n := range set {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodePos(nodes[i]) < nodePos(nodes[j]) })
+		g.bindings[v] = nodes
+	}
+}
+
+// nodePos orders nodes deterministically: body position when present,
+// declaration position otherwise.
+func nodePos(n *Node) int {
+	if n.Body != nil {
+		return int(n.Body.Pos())
+	}
+	if n.Func != nil {
+		return int(n.Func.Pos())
+	}
+	return 0
+}
+
+// bindCompositeLit records func values stored into struct fields by a
+// composite literal, keyed ({F: fn}) or positional ({fn}).
+func (g *Graph) bindCompositeLit(u *Unit, lit *ast.CompositeLit, bind func(*Unit, *types.Var, ast.Expr)) {
+	tv, ok := u.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return // map/slice/array literals: element flows untracked
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			field, _ := u.Info.Uses[key].(*types.Var)
+			bind(u, field, kv.Value)
+			continue
+		}
+		if i < st.NumFields() {
+			bind(u, st.Field(i), elt)
+		}
+	}
+}
+
+// bindCallArgs records func values passed as arguments to a statically
+// resolved module function, binding them to the callee's parameter
+// variables. Calls through interfaces or func values are skipped: their
+// parameter objects are not locally knowable.
+func (g *Graph) bindCallArgs(u *Unit, call *ast.CallExpr, bind func(*Unit, *types.Var, ast.Expr)) {
+	fn := staticCalleeFunc(u.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param *types.Var
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			param = params.At(i)
+		case sig.Variadic() && params.Len() > 0:
+			param = params.At(params.Len() - 1)
+		}
+		bind(u, param, arg)
+	}
+}
+
+// staticCalleeFunc resolves the *types.Func a call statically dispatches to,
+// or nil for calls through function values, built-ins, and conversions.
+func staticCalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// funcValue resolves an expression appearing on the right of an assignment:
+// the function nodes it denotes directly (a literal, a declared function, a
+// method value), or the variable it copies from. Both may be empty —
+// a call result, an untracked shape — in which case the value contributes
+// nothing (stays unresolved).
+func (g *Graph) funcValue(u *Unit, expr ast.Expr) ([]*Node, *types.Var) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		if n := g.lits[e]; n != nil {
+			return []*Node{n}, nil
+		}
+	case *ast.Ident:
+		switch obj := u.Info.Uses[e].(type) {
+		case *types.Func:
+			return []*Node{g.FuncNode(obj)}, nil
+		case *types.Var:
+			return nil, obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := u.Info.Selections[e]; ok {
+			switch obj := sel.Obj().(type) {
+			case *types.Func:
+				// Method value (x.M as a value): binds the concrete method.
+				return []*Node{g.FuncNode(obj)}, nil
+			case *types.Var:
+				return nil, obj // struct field read: copy its binding set
+			}
+			return nil, nil
+		}
+		// Package-qualified: pkg.Fn or pkg.Var.
+		switch obj := u.Info.Uses[e.Sel].(type) {
+		case *types.Func:
+			return []*Node{g.FuncNode(obj)}, nil
+		case *types.Var:
+			return nil, obj
+		}
+	}
+	return nil, nil
+}
+
+// assignTarget resolves the left side of an assignment to the variable or
+// struct field it writes, or nil for untracked targets (map/slice indexing,
+// dereferences, blank).
+func assignTarget(info *types.Info, lhs ast.Expr) *types.Var {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return v
+		}
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v // field write: x.F = ...
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var) // package-qualified: pkg.V = ...
+		return v
+	}
+	return nil
+}
+
+// flowTarget resolves a call's Fun expression to the variable or field whose
+// binding set should supply the callees, or nil when the call is not through
+// a tracked func value.
+func flowTarget(info *types.Info, fun ast.Expr) *types.Var {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if sel.Kind() == types.FieldVal {
+				v, _ := sel.Obj().(*types.Var)
+				return v
+			}
+			return nil // method call: handled by the static/CHA paths
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var) // package-qualified var call
+		return v
+	}
+	return nil
+}
+
+// Bindings returns the functions that may flow into the given variable or
+// field, in deterministic order. Nil when the value is unresolved (nothing
+// in the module assigns it a resolvable function).
+func (g *Graph) Bindings(v *types.Var) []*Node { return g.bindings[v] }

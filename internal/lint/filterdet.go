@@ -1,0 +1,531 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"scoop/internal/lint/callgraph"
+)
+
+// AnalyzerFilterDet proves registered storlet filters deterministic. The
+// connector's fallback resync (discard the delivered prefix of a re-run) and
+// the roadmap's pushdown result cache are sound only if a filter chain maps
+// identical input bytes to identical output bytes on every run. This analyzer
+// turns that assumption from a comment into a machine-checked proof: every
+// filter reachable from an Engine.Register call site must be free of
+// nondeterminism sources — time.Now/time.Since, math/rand (v1 and v2),
+// crypto/rand, environment reads, writes to package-level mutable state, and
+// map-range iteration whose order can escape into output bytes (the
+// collect-keys-then-sort idiom is recognized and allowed).
+//
+// Candidates and reachability mirror sandboxpure, with the dataflow layer's
+// Flow edges additionally followed so functions stored in func-typed fields
+// are analyzed too. The storlet engine package itself is the trusted runtime
+// (its breaker rolls dice and its accounting reads the clock by design);
+// edges into it are not traversed.
+//
+// The verdict is exported as a generated manifest (internal/detmanifest,
+// written by `scoop-lint -write-manifest`) keyed by the filter's registered
+// name, which the connector consults before arming compute-side fallback —
+// unproven filters degrade to NoFallback behavior automatically.
+var AnalyzerFilterDet = &Analyzer{
+	Name:      "filterdet",
+	Doc:       "storlet filters must be deterministic: no clock, rand, env, global state, or unordered map iteration",
+	RunModule: runFilterDet,
+}
+
+// nondetFuncs are the blocklisted call targets, package path -> function
+// names (empty set = every function in the package).
+var nondetFuncs = map[string]map[string]bool{
+	"time":         {"Now": true, "Since": true, "Until": true},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+	"crypto/rand":  nil,
+	"os":           {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+// isNondetFunc reports whether fn is a blocklisted nondeterminism source.
+func isNondetFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names, ok := nondetFuncs[fn.Pkg().Path()]
+	if !ok {
+		return false
+	}
+	return names == nil || names[fn.Name()]
+}
+
+// detCandidate is one registered filter: its statically-determined name (""
+// when the name is computed at runtime), its entry-point nodes, and where it
+// was registered.
+type detCandidate struct {
+	// label names the candidate for diagnostics: the concrete type or the
+	// wrapped FilterFunc function.
+	label string
+	// name is the filter's registered name when it is a compile-time
+	// constant; dynamic names stay "" and can never enter the manifest.
+	name  string
+	pos   token.Pos
+	nodes []*callgraph.Node
+}
+
+// detViolation is one nondeterminism source reached from a candidate.
+type detViolation struct {
+	pos    token.Pos
+	what   string
+	path   []*callgraph.Edge
+	inNode *callgraph.Node
+}
+
+// FilterVerdict is the public determinism result for one filter candidate.
+type FilterVerdict struct {
+	// Label names the filter implementation (type or function).
+	Label string
+	// Name is the constant registered name ("" when dynamic).
+	Name string
+	// Proven is true when no nondeterminism source is reachable.
+	Proven bool
+}
+
+// DeterminismVerdicts computes the filterdet result for every registered
+// filter candidate in the module. It is the shared core of the analyzer and
+// of `scoop-lint -write-manifest`.
+func DeterminismVerdicts(pkgs []*Package, graph *callgraph.Graph) []FilterVerdict {
+	candidates, _ := detCandidates(pkgs, graph)
+	out := make([]FilterVerdict, 0, len(candidates))
+	for _, c := range candidates {
+		v := detViolations(pkgs, graph, c)
+		out = append(out, FilterVerdict{Label: c.label, Name: c.name, Proven: len(v) == 0})
+	}
+	return out
+}
+
+// ProvenFilterNames returns the sorted registered names of every filter
+// proven deterministic. Filters with dynamic names are excluded even when
+// proven: the manifest keys on the name the pushdown task will carry.
+func ProvenFilterNames(pkgs []*Package, graph *callgraph.Graph) []string {
+	var names []string
+	for _, v := range DeterminismVerdicts(pkgs, graph) {
+		if v.Proven && v.Name != "" {
+			names = append(names, v.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func runFilterDet(pass *ModulePass) {
+	candidates, _ := detCandidates(pass.Pkgs, pass.Graph)
+	for _, c := range candidates {
+		for _, v := range detViolations(pass.Pkgs, pass.Graph, c) {
+			chain := describePath(v.path)
+			if v.inNode != nil && len(v.path) > 0 {
+				chain += " -> " + v.inNode.Name()
+			} else if v.inNode != nil {
+				chain = "in " + v.inNode.Name()
+			}
+			pass.ReportPathf(v.pos, pathStrings(v.path, v.inNode),
+				"filter %s is not provably deterministic: %s (%s); fallback resync and result caching need byte-identical re-runs",
+				c.label, v.what, chain)
+		}
+	}
+}
+
+// pathStrings renders a BFS edge path (plus the node the violation sits in)
+// as the node-name chain carried on the diagnostic for -json consumers.
+func pathStrings(path []*callgraph.Edge, last *callgraph.Node) []string {
+	var out []string
+	if len(path) > 0 {
+		out = append(out, path[0].Caller.Name())
+		for _, e := range path {
+			out = append(out, e.Callee.Name())
+		}
+	}
+	if last != nil && (len(out) == 0 || out[len(out)-1] != last.Name()) {
+		out = append(out, last.Name())
+	}
+	return out
+}
+
+// detCandidates collects every registered filter in the module, one candidate
+// per implementation, skipping the storlet engine package's own plumbing
+// (pipelineFilter, FilterFunc's generic wrapper). The second result is the
+// engine package path ("" when the storlet package is absent).
+func detCandidates(pkgs []*Package, graph *callgraph.Graph) ([]detCandidate, string) {
+	sp := findStorletPkg(pkgs)
+	if sp == nil {
+		return nil, ""
+	}
+	filterIface, engineType := storletTypes(sp)
+	if filterIface == nil || engineType == nil {
+		return nil, sp.Path
+	}
+
+	var candidates []detCandidate
+	seen := map[string]bool{}
+	addType := func(t types.Type, pos token.Pos) {
+		tn := namedTypeName(t)
+		if tn == nil || tn.Pkg() == nil || tn.Pkg().Path() == sp.Path {
+			return // engine-internal plumbing is the trusted runtime
+		}
+		label := tn.Pkg().Name() + "." + tn.Name()
+		if seen[label] {
+			return
+		}
+		seen[label] = true
+		var nodes []*callgraph.Node
+		for i := 0; i < filterIface.NumMethods(); i++ {
+			m := filterIface.Method(i)
+			obj, _, _ := types.LookupFieldOrMethod(t, true, m.Pkg(), m.Name())
+			if fn, ok := obj.(*types.Func); ok {
+				if n := graph.FuncNode(fn); n != nil && n.Body != nil {
+					nodes = append(nodes, n)
+				}
+			}
+		}
+		if len(nodes) == 0 {
+			return
+		}
+		candidates = append(candidates, detCandidate{
+			label: label,
+			name:  constantNameMethod(t, graph),
+			pos:   pos,
+			nodes: nodes,
+		})
+	}
+	addAllImpls := func(pos token.Pos) {
+		for _, pkg := range pkgs {
+			scope := pkg.Types.Scope()
+			names := scope.Names()
+			sort.Strings(names)
+			for _, name := range names {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() || types.IsInterface(tn.Type()) {
+					continue
+				}
+				t := tn.Type()
+				if types.Implements(t, filterIface) || types.Implements(types.NewPointer(t), filterIface) {
+					addType(t, pos)
+				}
+			}
+		}
+	}
+
+	filterFuncType := sp.Types.Scope().Lookup("FilterFunc")
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					if !isEngineRegister(info, x, engineType) || len(x.Args) == 0 {
+						return true
+					}
+					if pkg.Path == sp.Path {
+						return true // the engine registering its own wrappers
+					}
+					tv, ok := info.Types[x.Args[0]]
+					if !ok || tv.Type == nil {
+						return true
+					}
+					if types.IsInterface(tv.Type) {
+						addAllImpls(x.Pos())
+					} else {
+						addType(tv.Type, x.Pos())
+					}
+				case *ast.CompositeLit:
+					if filterFuncType == nil {
+						return true
+					}
+					tv, ok := info.Types[x]
+					if !ok || tv.Type == nil || !sameNamed(tv.Type, filterFuncType.Type()) {
+						return true
+					}
+					if c, ok := filterFuncCandidate(pkg, graph, x); ok {
+						if !seen[c.label] {
+							seen[c.label] = true
+							candidates = append(candidates, c)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].label < candidates[j].label })
+	return candidates, sp.Path
+}
+
+// filterFuncCandidate builds a candidate from a FilterFunc composite literal:
+// the Fn field supplies the entry point, the FilterName field (when constant)
+// supplies the name.
+func filterFuncCandidate(pkg *Package, graph *callgraph.Graph, lit *ast.CompositeLit) (detCandidate, bool) {
+	c := detCandidate{pos: lit.Pos()}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "FilterName":
+			if tv, ok := pkg.Info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				c.name = constant.StringVal(tv.Value)
+			}
+		case "Fn":
+			switch v := ast.Unparen(kv.Value).(type) {
+			case *ast.FuncLit:
+				if n := graph.LitNode(v); n != nil {
+					c.nodes = append(c.nodes, n)
+					c.label = n.Name()
+				}
+			default:
+				if fn, ok := identObj(pkg.Info, kv.Value).(*types.Func); ok {
+					if n := graph.FuncNode(fn); n != nil && n.Body != nil {
+						c.nodes = append(c.nodes, n)
+						c.label = fn.FullName()
+					}
+				}
+			}
+		}
+	}
+	if len(c.nodes) == 0 {
+		return detCandidate{}, false
+	}
+	if c.label == "" {
+		c.label = "FilterFunc literal"
+	}
+	return c, true
+}
+
+// namedTypeName unwraps pointers and returns the named type's TypeName.
+func namedTypeName(t types.Type) *types.TypeName {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// constantNameMethod extracts the constant string a type's Name() method
+// returns, or "" when the method is absent or its result is computed.
+func constantNameMethod(t types.Type, graph *callgraph.Graph) string {
+	tn := namedTypeName(t)
+	if tn == nil {
+		return ""
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, tn.Pkg(), "Name")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	n := graph.FuncNode(fn)
+	if n == nil || n.Body == nil || n.Unit == nil || len(n.Body.List) != 1 {
+		return ""
+	}
+	ret, ok := n.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return ""
+	}
+	if tv, ok := n.Unit.Info.Types[ret.Results[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value)
+	}
+	return ""
+}
+
+// detViolations computes every nondeterminism source reachable from one
+// candidate, in deterministic order.
+func detViolations(pkgs []*Package, graph *callgraph.Graph, c detCandidate) []detViolation {
+	sp := findStorletPkg(pkgs)
+	enginePath := ""
+	if sp != nil {
+		enginePath = sp.Path
+	}
+	tree := graph.Reach(c.nodes, func(e *callgraph.Edge) bool {
+		if enginePath != "" && e.Callee.PkgPath() == enginePath {
+			return false // the engine is the trusted runtime, not filter code
+		}
+		switch e.Kind {
+		case callgraph.Static, callgraph.Lit, callgraph.Flow, callgraph.Iface:
+			return true
+		case callgraph.Impl:
+			return graph.ModulePath(e.IfacePkg)
+		}
+		return false
+	})
+
+	var out []detViolation
+	for n, via := range tree {
+		// Blocklisted callee reached: report at the call site that reached it.
+		if via != nil && n.Func != nil && isNondetFunc(n.Func) {
+			out = append(out, detViolation{
+				pos:  via.Site,
+				what: "calls " + n.Func.FullName(),
+				path: callgraph.Path(tree, n),
+			})
+			continue
+		}
+		// Module node with a body: scan for state writes and map ranges.
+		if n.Body == nil || n.Unit == nil {
+			continue
+		}
+		path := callgraph.Path(tree, n)
+		for _, v := range bodyViolations(n) {
+			v.path = path
+			v.inNode = n
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].what < out[j].what
+	})
+	return out
+}
+
+// bodyViolations scans one function body for intra-procedural nondeterminism:
+// writes to package-level mutable state and map-range iteration whose order
+// can escape into the output.
+func bodyViolations(n *callgraph.Node) []detViolation {
+	info := n.Unit.Info
+	var out []detViolation
+	report := func(pos token.Pos, what string) {
+		out = append(out, detViolation{pos: pos, what: what})
+	}
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x.Pos() != n.Body.Pos() {
+			return false // literals are their own nodes, scanned separately
+		}
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if v := packageLevelTarget(info, lhs); v != nil {
+					report(s.Pos(), "writes package-level variable "+v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := packageLevelTarget(info, s.X); v != nil {
+				report(s.Pos(), "writes package-level variable "+v.Name())
+			}
+		case *ast.RangeStmt:
+			tv, ok := info.Types[s.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sortedCollectRange(info, n.Body, s) {
+				return true // collect-then-sort: order cannot escape
+			}
+			report(s.Pos(), "ranges over a map in iteration order")
+		}
+		return true
+	})
+	return out
+}
+
+// packageLevelTarget resolves an assignment target to the package-level
+// variable it mutates, or nil. Both direct writes (pkgVar = x, pkgVar++) and
+// writes into a package-level composite (pkgVar.Field = x, pkgVar[k] = x)
+// count: either way the filter's behavior can depend on prior invocations.
+func packageLevelTarget(info *types.Info, lhs ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			v, ok := identObj(info, e).(*types.Var)
+			if ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// pkg.Var or x.Field: check the selected object, then recurse
+			// into the receiver chain.
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			// A write through a pointer: the pointee's identity is not
+			// locally provable; only flag when the pointer expression itself
+			// is a package-level var (e.g. *pkgPtr = x).
+			lhs = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedCollectRange recognizes the deterministic map-iteration idiom: the
+// range body only appends keys/values to slice variables, and the enclosing
+// function later passes one of those slices to the sort (or slices) package.
+func sortedCollectRange(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	collected := map[types.Object]bool{}
+	for _, stmt := range rng.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fun.Name != "append" {
+			return false
+		}
+		if obj := identObj(info, lhs); obj != nil {
+			collected[obj] = true
+		}
+	}
+	if len(collected) == 0 {
+		return false
+	}
+	// Look for a later sort.*/slices.* call over a collected slice.
+	sorted := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && collected[identObj(info, id)] {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

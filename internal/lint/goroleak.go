@@ -49,8 +49,8 @@ func runGoroLeak(pass *ModulePass) {
 			if target == nil || target.Body == nil {
 				return true // dynamic spawn: unresolvable without SSA
 			}
-			if loop := findUnboundedLoop(pass, target); loop != token.NoPos {
-				pass.Reportf(gs.Pos(), "goroutine spawned here never terminates: unbounded for-loop at %s has no return, no break, and no closing channel; tie it to a context, a stop channel, or bounded work so the daemon can drain", pass.Posn(loop))
+			if loop, chain := findUnboundedLoop(pass, target); loop != token.NoPos {
+				pass.ReportPathf(gs.Pos(), chain, "goroutine spawned here never terminates: unbounded for-loop at %s has no return, no break, and no closing channel; tie it to a context, a stop channel, or bounded work so the daemon can drain", pass.Posn(loop))
 			}
 			return true
 		})
@@ -59,10 +59,11 @@ func runGoroLeak(pass *ModulePass) {
 
 // findUnboundedLoop searches the spawned function and everything it reaches
 // through static calls (and inline literals) for a `for {}` loop that cannot
-// exit. Returns the loop position, or NoPos when every loop can terminate.
+// exit. Returns the loop position plus the call chain from the spawn target
+// to the loop's function, or NoPos when every loop can terminate.
 // Goroutine-launching edges are not followed: a nested `go` spawn is
 // analyzed at its own go statement, not attributed to the parent.
-func findUnboundedLoop(pass *ModulePass, start *callgraph.Node) token.Pos {
+func findUnboundedLoop(pass *ModulePass, start *callgraph.Node) (token.Pos, []string) {
 	tree := pass.Graph.Reach([]*callgraph.Node{start}, func(e *callgraph.Edge) bool {
 		if e.Go {
 			return false
@@ -79,10 +80,10 @@ func findUnboundedLoop(pass *ModulePass, start *callgraph.Node) token.Pos {
 	sortNodesByPos(nodes)
 	for _, n := range nodes {
 		if pos := unboundedLoopIn(n.Body); pos != token.NoPos {
-			return pos
+			return pos, pathStrings(callgraph.Path(tree, n), n)
 		}
 	}
-	return token.NoPos
+	return token.NoPos, nil
 }
 
 func sortNodesByPos(nodes []*callgraph.Node) {

@@ -83,6 +83,17 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportPathf records a finding at pos with an attached call-path chain
+// (function names, caller first), kept structured for -json consumers.
+func (p *ModulePass) ReportPathf(pos token.Pos, path []string, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Path:     path,
+	})
+}
+
 // Posn renders a position compactly ("file.go:12") for use inside messages
 // that cite a second location.
 func (p *ModulePass) Posn(pos token.Pos) string {
@@ -102,6 +113,10 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Path is the call chain (function names, caller first) a module-level
+	// analyzer followed to reach the finding; empty for per-file analyzers.
+	// Machine consumers get it verbatim in -json output.
+	Path []string
 }
 
 func (d Diagnostic) String() string {
@@ -121,6 +136,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerLockOrder,
 		AnalyzerGoroLeak,
 		AnalyzerSandboxPure,
+		AnalyzerFilterDet,
 	}
 }
 

@@ -39,7 +39,26 @@ var (
 	loadMu   sync.Mutex
 	loadFset = token.NewFileSet()
 	loadStd  types.Importer
+	// loadCache holds the last result per root, keyed by the mtime
+	// fingerprint of the root's sources (see cache.go): a warm Load of an
+	// unchanged tree is a stat-walk, not a re-parse and re-typecheck.
+	// Returned packages are shared — callers must treat them as read-only,
+	// which every analyzer already does.
+	loadCache = map[string]loadCacheEntry{}
 )
+
+type loadCacheEntry struct {
+	fingerprint string
+	pkgs        []*Package
+}
+
+// resetLoadCache drops the in-process package cache (benchmarks use it to
+// measure a cold load).
+func resetLoadCache() {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	loadCache = map[string]loadCacheEntry{}
+}
 
 // Load parses and type-checks every package under root (a module root or a
 // subtree of one). Test files (*_test.go) are excluded: the analyzers target
@@ -47,7 +66,9 @@ var (
 // and leak readers on purpose. Std-library dependencies are type-checked from
 // source via go/importer, so no compiled export data is required. Each
 // package is loaded and type-checked exactly once per call and the result is
-// shared by every analyzer that Run executes.
+// shared by every analyzer that Run executes. Results are memoized per root
+// behind a source fingerprint (cache.go): repeat Loads of an unchanged tree
+// return the cached package set.
 func Load(root string) ([]*Package, error) {
 	loadMu.Lock()
 	defer loadMu.Unlock()
@@ -55,6 +76,13 @@ func Load(root string) ([]*Package, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
+	}
+	fingerprint, err := Fingerprint(root)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := loadCache[root]; ok && e.fingerprint == fingerprint {
+		return e.pkgs, nil
 	}
 	modRoot, modPath, err := findModule(root)
 	if err != nil {
@@ -104,6 +132,7 @@ func Load(root string) ([]*Package, error) {
 			return nil, err
 		}
 	}
+	loadCache[root] = loadCacheEntry{fingerprint: fingerprint, pkgs: ordered}
 	return ordered, nil
 }
 

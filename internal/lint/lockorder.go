@@ -14,30 +14,52 @@ import (
 // AnalyzerLockOrder detects potential AB/BA deadlocks across the whole
 // module: it records, for every function, which mutexes may be acquired
 // while another is already held — including acquisitions buried several
-// static calls deep — builds a global acquisition-order graph keyed by the
-// types.Object of each lock (a struct field or package-level variable), and
-// reports every cycle with both acquisition paths. The proxy registry,
-// per-node state, storlet engine and adaptive controller each guard hot
-// request-path state with their own mutex; one inverted pair under load
-// freezes the whole GET/PUT pipeline, which no amount of dynamic testing
-// reliably catches.
+// static calls deep — builds a global acquisition-order graph, and reports
+// every cycle with both acquisition paths. The proxy registry, per-node
+// state, storlet engine and adaptive controller each guard hot request-path
+// state with their own mutex; one inverted pair under load freezes the whole
+// GET/PUT pipeline, which no amount of dynamic testing reliably catches.
 //
-// Identity is per lock *field*, not per instance: locking a.mu then b.mu of
-// two values of the same struct maps to a single graph node. That
-// over-approximates (two sibling instances never deadlock with each other
-// alone) but matches the usual "one global order per lock field" discipline;
-// self-edges are therefore not reported.
+// Lock identity is an *access path*, not a declared field: `c.in.mu` and
+// `c.out.mu` are distinct locks even when in and out share a struct type,
+// because value fields are distinct sub-objects of their parent. The path is
+// anchored at the nearest stable root — a package-level variable (a real
+// single instance), a bare local/parameter mutex (the variable itself), or
+// otherwise the named type of the owning value — and every pointer boundary
+// resets the anchor to the pointee's named type, since pointer fields alias
+// arbitrarily. Identities that still conflate instances (two values of the
+// same type via method receivers) keep the usual "one global order per lock
+// path" discipline; self-edges are therefore not reported.
 var AnalyzerLockOrder = &Analyzer{
 	Name:      "lockorder",
 	Doc:       "mutex pairs must be acquired in one global order (AB/BA deadlock cycles)",
 	RunModule: runLockOrder,
 }
 
+// lockID identifies one mutex in the acquisition-order graph: a canonical
+// access-path key plus a short display name. The zero value means "no
+// provable identity" — such acquisitions produce no ordering edges rather
+// than wrong ones.
+type lockID struct {
+	key  string
+	name string
+}
+
+func (id lockID) valid() bool { return id.key != "" }
+
+// field extends an identity one value-field hop deeper: core -> core.in.
+func (id lockID) field(name string) lockID {
+	if !id.valid() {
+		return lockID{}
+	}
+	return lockID{key: id.key + "." + name, name: id.name + "." + name}
+}
+
 // lockAcq is one (possibly transitive) acquisition a function can perform:
-// the lock object plus the chain of call/lock sites leading to it. sites[0]
-// is in the function itself; the last element is the Lock() call.
+// the lock identity plus the chain of call/lock sites leading to it.
+// sites[0] is in the function itself; the last element is the Lock() call.
 type lockAcq struct {
-	obj   types.Object
+	id    lockID
 	sites []token.Pos
 	// chain names the functions the acquisition passes through (callee of
 	// each call site), ending at the locking function. Empty for a direct
@@ -49,7 +71,7 @@ type lockAcq struct {
 
 // lockEdge is one observed ordering: `to` acquired while `from` was held.
 type lockEdge struct {
-	from, to types.Object
+	from, to lockID
 	// heldAt is the Lock() site of `from`; acq describes how `to` was then
 	// reached from inside the held region.
 	heldAt token.Pos
@@ -73,9 +95,9 @@ func runLockOrder(pass *ModulePass) {
 	}
 
 	// Keep one witness per ordered pair (the earliest), then report cycles.
-	byPair := map[[2]types.Object]lockEdge{}
+	byPair := map[[2]lockID]lockEdge{}
 	for _, e := range edges {
-		key := [2]types.Object{e.from, e.to}
+		key := [2]lockID{e.from, e.to}
 		if prev, ok := byPair[key]; !ok || e.heldAt < prev.heldAt {
 			byPair[key] = e
 		}
@@ -96,67 +118,189 @@ func directLockAcqs(pass *ModulePass, n *callgraph.Node) []lockAcq {
 		if !ok {
 			return true
 		}
-		obj, expr, ok := lockAcquisition(info, call)
+		id, expr, ok := lockAcquisition(info, call)
 		if !ok {
 			return true
 		}
-		out = append(out, lockAcq{obj: obj, sites: []token.Pos{call.Pos()}, expr: expr})
+		out = append(out, lockAcq{id: id, sites: []token.Pos{call.Pos()}, expr: expr})
 		return true
 	})
 	return out
 }
 
 // lockAcquisition reports whether call is sync.(*Mutex).Lock /
-// (*RWMutex).Lock / (*RWMutex).RLock on a resolvable lock object (struct
-// field or variable).
-func lockAcquisition(info *types.Info, call *ast.CallExpr) (types.Object, string, bool) {
+// (*RWMutex).Lock / (*RWMutex).RLock on a receiver with a resolvable lock
+// identity.
+func lockAcquisition(info *types.Info, call *ast.CallExpr) (lockID, string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return nil, "", false
+		return lockID{}, "", false
 	}
 	fn := staticCallee(info, call)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return nil, "", false
+		return lockID{}, "", false
 	}
 	if fn.Name() != "Lock" && fn.Name() != "RLock" {
-		return nil, "", false
+		return lockID{}, "", false
 	}
-	obj := lockObject(info, sel.X)
-	if obj == nil {
-		return nil, "", false
+	id := lockIdent(info, sel)
+	if !id.valid() {
+		return lockID{}, "", false
 	}
-	return obj, types.ExprString(sel.X), true
+	return id, types.ExprString(sel.X), true
 }
 
-// lockObject resolves the receiver expression of a Lock call to the object
-// identifying the lock: a struct field (all instances collapse to the field)
-// or a plain variable.
-func lockObject(info *types.Info, expr ast.Expr) types.Object {
-	switch e := ast.Unparen(expr).(type) {
-	case *ast.Ident:
-		return info.Uses[e]
-	case *ast.SelectorExpr:
-		if sel, ok := info.Selections[e]; ok {
-			return sel.Obj() // field selection: x.mu, x.y.mu
-		}
-		return info.Uses[e.Sel] // package-qualified: pkg.mu
+// lockIdent resolves the receiver of a sync lock-method call to its
+// identity. sel is the method selector (recv.Lock); for a promoted method —
+// `t.Lock()` with an embedded sync.Mutex — the implicit embedded-field hops
+// come from the method selection's index path, so the embedded mutex gets
+// the same path-shaped identity an explicit `t.Mutex.Lock()` would.
+func lockIdent(info *types.Info, sel *ast.SelectorExpr) lockID {
+	id := lockPath(info, sel.X)
+	if !id.valid() {
+		return lockID{}
 	}
-	return nil
+	msel, ok := info.Selections[sel]
+	if !ok {
+		return lockID{}
+	}
+	idx := msel.Index()
+	t := msel.Recv()
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := derefStruct(t)
+		if !ok {
+			return lockID{}
+		}
+		f := st.Field(i)
+		if p, ok := f.Type().Underlying().(*types.Pointer); ok {
+			id = typeAnchor(p.Elem())
+		} else {
+			id = id.field(f.Name())
+		}
+		if !id.valid() {
+			return lockID{}
+		}
+		t = f.Type()
+	}
+	return id
+}
+
+// lockPath resolves a lock receiver expression to an access-path identity.
+// Value-field selections extend the path; a pointer-typed field resets the
+// anchor to the pointee's named type (pointer fields alias arbitrarily, so
+// everything behind one conflates per type, never per parent instance).
+func lockPath(info *types.Info, expr ast.Expr) lockID {
+	e := ast.Unparen(expr)
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lockPath(info, x.X)
+		}
+	case *ast.StarExpr:
+		return lockPath(info, x.X)
+	case *ast.Ident:
+		return lockBase(info, x)
+	case *ast.IndexExpr:
+		// Container element: all elements conflate to the element type, the
+		// same over-approximation method receivers get.
+		if tv, ok := info.Types[x]; ok && tv.Type != nil {
+			return typeAnchor(tv.Type)
+		}
+	case *ast.SelectorExpr:
+		if fsel, ok := info.Selections[x]; ok {
+			v, ok := fsel.Obj().(*types.Var)
+			if !ok {
+				return lockID{}
+			}
+			if p, ok := v.Type().Underlying().(*types.Pointer); ok {
+				return typeAnchor(p.Elem())
+			}
+			return lockPath(info, x.X).field(v.Name())
+		}
+		// Package-qualified: pkg.mu — a package-level variable elsewhere.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return pkgVarAnchor(v)
+		}
+	}
+	return lockID{}
+}
+
+// lockBase anchors the root of an access path: package-level variables keep
+// their (single-instance) variable identity, bare local/parameter mutexes
+// keep the variable's identity, and any other local value anchors at its
+// named type — the conservative per-type conflation method receivers imply.
+func lockBase(info *types.Info, id *ast.Ident) lockID {
+	v, ok := identObj(info, id).(*types.Var)
+	if !ok {
+		return lockID{}
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return pkgVarAnchor(v)
+	}
+	t := v.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" {
+		// A bare sync.Mutex (or *sync.Mutex) variable: the variable itself
+		// is the only identity available.
+		return lockID{key: fmt.Sprintf("local %s@%d", v.Name(), v.Pos()), name: v.Name()}
+	}
+	return typeAnchor(t)
+}
+
+// pkgVarAnchor identifies a package-level variable: unlike types and fields,
+// a package-level var is one real instance, so the anchor is exact.
+func pkgVarAnchor(v *types.Var) lockID {
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path()
+	}
+	return lockID{key: "var " + pkg + "." + v.Name(), name: v.Name()}
+}
+
+// typeAnchor identifies all instances of a named type: the fallback anchor
+// wherever instance identity is not locally provable (method receivers,
+// pointer dereferences, container elements). Anchoring a bare sync type is
+// refused — "every *sync.Mutex in the module" is not one lock, and edges on
+// it would be noise.
+func typeAnchor(t types.Type) lockID {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return lockID{}
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() == "sync" {
+		return lockID{}
+	}
+	return lockID{key: "type " + obj.Pkg().Path() + "." + obj.Name(), name: obj.Name()}
+}
+
+// derefStruct unwraps pointers and returns the underlying struct type.
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
 }
 
 // transitiveAcqs propagates acquisition summaries over static call edges to
 // a fixpoint: acq(f) = direct(f) ∪ { callSite + acq(g) | f statically calls
-// g }. Only the shortest witness per lock object is kept. Interface dispatch
-// is not followed — CHA fan-out would claim nearly every lock is reachable
-// from every call site and drown real inversions in noise.
-func transitiveAcqs(g *callgraph.Graph, direct map[*callgraph.Node][]lockAcq) map[*callgraph.Node]map[types.Object]lockAcq {
-	acqs := map[*callgraph.Node]map[types.Object]lockAcq{}
+// g }. Only the shortest witness per lock identity is kept. Interface
+// dispatch is not followed — CHA fan-out would claim nearly every lock is
+// reachable from every call site and drown real inversions in noise.
+func transitiveAcqs(g *callgraph.Graph, direct map[*callgraph.Node][]lockAcq) map[*callgraph.Node]map[lockID]lockAcq {
+	acqs := map[*callgraph.Node]map[lockID]lockAcq{}
 	nodes := g.Nodes()
 	for _, n := range nodes {
-		m := map[types.Object]lockAcq{}
+		m := map[lockID]lockAcq{}
 		for _, a := range direct[n] {
-			if prev, ok := m[a.obj]; !ok || len(a.sites) < len(prev.sites) {
-				m[a.obj] = a
+			if prev, ok := m[a.id]; !ok || len(a.sites) < len(prev.sites) {
+				m[a.id] = a
 			}
 		}
 		acqs[n] = m
@@ -168,15 +312,15 @@ func transitiveAcqs(g *callgraph.Graph, direct map[*callgraph.Node][]lockAcq) ma
 				if e.Kind != callgraph.Static || e.Go || e.Callee.Body == nil {
 					continue
 				}
-				for obj, a := range acqs[e.Callee] {
+				for id, a := range acqs[e.Callee] {
 					lifted := lockAcq{
-						obj:   obj,
+						id:    id,
 						sites: append([]token.Pos{e.Site}, a.sites...),
 						chain: append([]string{calleeName(e)}, a.chain...),
 						expr:  a.expr,
 					}
-					if prev, ok := acqs[n][obj]; !ok || len(lifted.sites) < len(prev.sites) {
-						acqs[n][obj] = lifted
+					if prev, ok := acqs[n][id]; !ok || len(lifted.sites) < len(prev.sites) {
+						acqs[n][id] = lifted
 						changed = true
 					}
 				}
@@ -198,7 +342,7 @@ func calleeName(e *callgraph.Edge) string {
 // matches lockheld: a Lock() at one statement-list level holds until the
 // matching same-level Unlock, or to the end of the list when the unlock is
 // deferred or absent.
-func heldRegionEdges(pass *ModulePass, n *callgraph.Node, trans map[*callgraph.Node]map[types.Object]lockAcq) []lockEdge {
+func heldRegionEdges(pass *ModulePass, n *callgraph.Node, trans map[*callgraph.Node]map[lockID]lockAcq) []lockEdge {
 	var edges []lockEdge
 	info := n.Unit.Info
 	var scanList func(list []ast.Stmt)
@@ -213,7 +357,7 @@ func heldRegionEdges(pass *ModulePass, n *callgraph.Node, trans map[*callgraph.N
 				if _, isDefer := list[j].(*ast.DeferStmt); isDefer {
 					continue
 				}
-				if rel, ok := lockStmt(info, list[j], "Unlock", "RUnlock"); ok && rel.obj == held.obj && rel.expr == held.expr {
+				if rel, ok := lockStmt(info, list[j], "Unlock", "RUnlock"); ok && rel.id == held.id && rel.expr == held.expr {
 					end = j
 					break
 				}
@@ -240,7 +384,7 @@ func heldRegionEdges(pass *ModulePass, n *callgraph.Node, trans map[*callgraph.N
 
 // heldLock describes one active Lock() statement.
 type heldLock struct {
-	obj  types.Object
+	id   lockID
 	expr string
 	pos  token.Pos
 }
@@ -267,11 +411,11 @@ func lockStmt(info *types.Info, stmt ast.Stmt, names ...string) (heldLock, bool)
 	}
 	for _, name := range names {
 		if fn.Name() == name {
-			obj := lockObject(info, sel.X)
-			if obj == nil {
+			id := lockIdent(info, sel)
+			if !id.valid() {
 				return heldLock{}, false
 			}
-			return heldLock{obj: obj, expr: types.ExprString(sel.X), pos: call.Pos()}, true
+			return heldLock{id: id, expr: types.ExprString(sel.X), pos: call.Pos()}, true
 		}
 	}
 	return heldLock{}, false
@@ -279,7 +423,7 @@ func lockStmt(info *types.Info, stmt ast.Stmt, names ...string) (heldLock, bool)
 
 // regionAcqs finds every lock other than `held` acquirable inside one held
 // statement: directly, or transitively through a static call.
-func regionAcqs(pass *ModulePass, n *callgraph.Node, info *types.Info, stmt ast.Stmt, held heldLock, trans map[*callgraph.Node]map[types.Object]lockAcq) []lockEdge {
+func regionAcqs(pass *ModulePass, n *callgraph.Node, info *types.Info, stmt ast.Stmt, held heldLock, trans map[*callgraph.Node]map[lockID]lockAcq) []lockEdge {
 	var out []lockEdge
 	ast.Inspect(stmt, func(x ast.Node) bool {
 		if _, ok := x.(*ast.FuncLit); ok {
@@ -289,13 +433,13 @@ func regionAcqs(pass *ModulePass, n *callgraph.Node, info *types.Info, stmt ast.
 		if !ok {
 			return true
 		}
-		if obj, expr, ok := lockAcquisition(info, call); ok {
-			if obj != held.obj {
+		if id, expr, ok := lockAcquisition(info, call); ok {
+			if id != held.id {
 				out = append(out, lockEdge{
-					from:   held.obj,
-					to:     obj,
+					from:   held.id,
+					to:     id,
 					heldAt: held.pos,
-					acq:    lockAcq{obj: obj, sites: []token.Pos{call.Pos()}, expr: expr},
+					acq:    lockAcq{id: id, sites: []token.Pos{call.Pos()}, expr: expr},
 					fn:     nodeName(n),
 				})
 			}
@@ -309,16 +453,16 @@ func regionAcqs(pass *ModulePass, n *callgraph.Node, info *types.Info, stmt ast.
 		if callee == nil || callee.Body == nil {
 			return true
 		}
-		for obj, a := range trans[callee] {
-			if obj == held.obj {
-				continue // self-edges: instance conflation, skip
+		for id, a := range trans[callee] {
+			if id == held.id {
+				continue // self-edges: remaining instance conflation, skip
 			}
 			out = append(out, lockEdge{
-				from:   held.obj,
-				to:     obj,
+				from:   held.id,
+				to:     id,
 				heldAt: held.pos,
 				acq: lockAcq{
-					obj:   obj,
+					id:    id,
 					sites: append([]token.Pos{call.Pos()}, a.sites...),
 					chain: append([]string{fn.Name()}, a.chain...),
 					expr:  a.expr,
@@ -340,38 +484,39 @@ func nodeName(n *callgraph.Node) string {
 
 // reportLockCycles finds cycles in the acquisition-order graph and reports
 // each once, citing both (all) acquisition paths.
-func reportLockCycles(pass *ModulePass, byPair map[[2]types.Object]lockEdge) {
-	// Adjacency over lock objects, deterministic order via witness position.
-	adj := map[types.Object][]lockEdge{}
+func reportLockCycles(pass *ModulePass, byPair map[[2]lockID]lockEdge) {
+	// Adjacency over lock identities, deterministic order via witness
+	// position.
+	adj := map[lockID][]lockEdge{}
 	for _, e := range byPair {
 		adj[e.from] = append(adj[e.from], e)
 	}
-	var locks []types.Object
-	for obj := range adj {
-		locks = append(locks, obj)
+	var locks []lockID
+	for id := range adj {
+		locks = append(locks, id)
 	}
-	sort.Slice(locks, func(i, j int) bool { return adj[locks[i]][0].heldAt < adj[locks[j]][0].heldAt })
 	for _, es := range adj {
 		sort.Slice(es, func(i, j int) bool { return es[i].heldAt < es[j].heldAt })
 	}
+	sort.Slice(locks, func(i, j int) bool { return adj[locks[i]][0].heldAt < adj[locks[j]][0].heldAt })
 
 	reported := map[string]bool{}
 	// state: 0 unvisited, 1 on stack, 2 done — per DFS root, standard
 	// coloring with cycle extraction from the active path.
 	for _, root := range locks {
-		state := map[types.Object]int{}
+		state := map[lockID]int{}
 		var path []lockEdge
-		var dfs func(obj types.Object)
-		dfs = func(obj types.Object) {
-			state[obj] = 1
-			for _, e := range adj[obj] {
+		var dfs func(id lockID)
+		dfs = func(id lockID) {
+			state[id] = 1
+			for _, e := range adj[id] {
 				switch state[e.to] {
 				case 0:
 					path = append(path, e)
 					dfs(e.to)
 					path = path[:len(path)-1]
 				case 1:
-					// Cycle: the active path from e.to back to obj, plus e.
+					// Cycle: the active path from e.to back to id, plus e.
 					var cyc []lockEdge
 					for i := len(path) - 1; i >= 0; i-- {
 						cyc = append([]lockEdge{path[i]}, cyc...)
@@ -383,7 +528,7 @@ func reportLockCycles(pass *ModulePass, byPair map[[2]types.Object]lockEdge) {
 					reportCycle(pass, cyc, reported)
 				}
 			}
-			state[obj] = 2
+			state[id] = 2
 		}
 		if state[root] == 0 {
 			dfs(root)
@@ -433,10 +578,11 @@ func describeEdge(pass *ModulePass, e lockEdge) string {
 		e.fn, e.acq.expr, via, lockName(e.from), pass.Posn(e.heldAt))
 }
 
-// lockName renders a lock object for messages: its field or variable name.
-func lockName(obj types.Object) string {
-	if obj == nil {
+// lockName renders a lock identity for messages: its access path from the
+// anchor, e.g. "core.in.mu".
+func lockName(id lockID) string {
+	if !id.valid() {
 		return "?"
 	}
-	return obj.Name()
+	return id.name
 }

@@ -97,7 +97,7 @@ func runSandboxPure(pass *ModulePass) {
 			continue
 		}
 		seen[key] = true
-		pass.Reportf(v.edge.Site, "storlet sandbox violation: %s is reachable from deployed filter code (%s); filters must stay pure of os/net/syscall", v.node.Func.FullName(), describePath(path))
+		pass.ReportPathf(v.edge.Site, pathStrings(path, v.node), "storlet sandbox violation: %s is reachable from deployed filter code (%s); filters must stay pure of os/net/syscall", v.node.Func.FullName(), describePath(path))
 	}
 }
 

@@ -1,0 +1,119 @@
+// Package filterdet holds known-good and known-bad storlet filters for the
+// filterdet analyzer: deployed filter code must be provably deterministic —
+// no clock, rand, env reads, package-level state, or unordered map iteration
+// escaping into output bytes.
+package filterdet
+
+import (
+	"sort"
+	"time"
+
+	"fixture/storlet"
+)
+
+// clock hides the nondeterminism source behind a func-typed struct field:
+// only the dataflow layer's Flow edges can connect Invoke to unixNow.
+type clock struct {
+	now func() int64
+}
+
+func unixNow() int64 {
+	return time.Now().UnixNano() // want:filterdet filter filterdet.stampFilter is not provably deterministic: calls time.Now
+}
+
+// stampFilter appends a timestamp byte to every payload. The clock reaches
+// the filter two assignments away (unixNow -> f -> clock{now: f}) through a
+// func-typed field — the exact shape the pre-dataflow call graph lost.
+type stampFilter struct {
+	c clock
+}
+
+func (stampFilter) Name() string { return "stamp" }
+
+func (s stampFilter) Invoke(_ *storlet.Context, in []byte) ([]byte, error) {
+	return append(in, byte(s.c.now())), nil
+}
+
+func newStamp() stampFilter {
+	f := unixNow
+	c := clock{now: f}
+	return stampFilter{c: c}
+}
+
+// seen survives across invocations: the filter's output depends on what it
+// has already eaten, so a replay is not byte-identical.
+var seen = map[string]int{}
+
+type dedupFilter struct{}
+
+func (dedupFilter) Name() string { return "dedup" }
+
+func (dedupFilter) Invoke(_ *storlet.Context, in []byte) ([]byte, error) {
+	seen[string(in)]++ // want:filterdet filter filterdet.dedupFilter is not provably deterministic: writes package-level variable seen
+	if seen[string(in)] > 1 {
+		return nil, nil
+	}
+	return in, nil
+}
+
+// tallyFilter emits map keys in iteration order: distinct runs produce
+// distinct byte orders.
+type tallyFilter struct{}
+
+func (tallyFilter) Name() string { return "tally" }
+
+func (tallyFilter) Invoke(_ *storlet.Context, in []byte) ([]byte, error) {
+	counts := map[byte]int{}
+	for _, b := range in {
+		counts[b]++
+	}
+	var out []byte
+	for b := range counts { // want:filterdet filter filterdet.tallyFilter is not provably deterministic: ranges over a map in iteration order
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// histFilter is the deterministic counterpart: the same map, iterated via
+// the collect-keys-then-sort idiom the analyzer recognizes. Must stay silent.
+type histFilter struct{}
+
+func (histFilter) Name() string { return "hist" }
+
+func (histFilter) Invoke(_ *storlet.Context, in []byte) ([]byte, error) {
+	counts := map[string]int{}
+	for _, b := range in {
+		counts[string(b)]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, k...)
+	}
+	return out, nil
+}
+
+// jitterFilter is nondeterministic by design, and the finding is acknowledged
+// in place — proving //lint:ignore suppression reaches module-level analyzers
+// exactly like the per-file ones.
+type jitterFilter struct{}
+
+func (jitterFilter) Name() string { return "jitter" }
+
+func (jitterFilter) Invoke(_ *storlet.Context, in []byte) ([]byte, error) {
+	//lint:ignore filterdet fixture: proves module-analyzer suppression works
+	n := time.Now().UnixNano() % int64(len(in)+1)
+	return in[:n], nil
+}
+
+func deploy(e *storlet.Engine) {
+	_ = e.Register(newStamp())
+	_ = e.Register(dedupFilter{})
+	_ = e.Register(tallyFilter{})
+	_ = e.Register(histFilter{})
+	_ = e.Register(jitterFilter{})
+}

@@ -74,6 +74,73 @@ func (s *svc) wake() {
 	s.mu.Unlock()
 }
 
+// meter/core demonstrate why lock identity must be an access path, not a
+// declared field: core holds two distinct meter instances (in and out) plus
+// its own mutex, and the global order "in.mu < mu < out.mu" is consistent.
+// Keying every meter's mu by the shared struct field conflates in.mu with
+// out.mu and manufactures a false meter.mu<->core.mu AB/BA cycle; the
+// access-path model keeps core.in.mu and core.out.mu distinct, so this stays
+// silent.
+type meter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (m *meter) add() {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+}
+
+type core struct {
+	mu  sync.Mutex
+	in  meter
+	out meter
+	n   int
+}
+
+func (c *core) ingest() {
+	c.in.mu.Lock()
+	defer c.in.mu.Unlock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *core) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out.add()
+}
+
+// raid/disk is the true nested-field counterpart: both functions name the
+// SAME nested lock (r.meta.mu) against r.mu in opposite orders, so the cycle
+// is real and must survive the instance-precision fix.
+type disk struct {
+	mu   sync.Mutex
+	used int
+}
+
+type raid struct {
+	mu   sync.Mutex
+	meta disk
+}
+
+func (r *raid) grow() {
+	r.meta.mu.Lock()
+	defer r.meta.mu.Unlock()
+	r.mu.Lock() // want:lockorder lock order cycle
+	r.mu.Unlock()
+}
+
+func (r *raid) scrub() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.meta.mu.Lock()
+	r.meta.used = 0
+	r.meta.mu.Unlock()
+}
+
 // consistent always takes x before y: two edges in the same direction form
 // no cycle.
 type consistent struct {

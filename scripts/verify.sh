@@ -6,8 +6,10 @@
 #   2. go vet ./...                 stdlib vet analyzers
 #   3. go run ./cmd/scoop-lint ./...  project analyzers — per-package
 #                                     (closebody, errwrap, lockheld, chanleak,
-#                                     ctxpropagate) and whole-module call-graph
-#                                     (lockorder, goroleak, sandboxpure)
+#                                     slotleak, ctxpropagate) and whole-module
+#                                     call-graph (lockorder, goroleak,
+#                                     sandboxpure, filterdet); warm runs replay
+#                                     from the mtime-keyed on-disk cache
 #   4. go test -race -short ./...   fast-tier suite under the race detector
 #
 # The chaos suite (TestChaos* in internal/integration) skips itself under
