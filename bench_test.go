@@ -64,6 +64,7 @@ func printOnce(b *testing.B, name string, fn func(w io.Writer) error) {
 func BenchmarkFig1IngestScaling(b *testing.B) {
 	printOnce(b, "Fig. 1", experiment.Fig1)
 	tb := cluster.OSIC()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, gbs := range []float64{50, 500, 3000} {
@@ -78,6 +79,8 @@ func BenchmarkTable1GridPocketSelectivities(b *testing.B) {
 	e := benchEnv(b)
 	printOnce(b, "Table I", func(w io.Writer) error { return experiment.Table1(w, e) })
 	q := experiment.GridPocketQueries[4] // ShowPiemonth
+	b.SetBytes(e.DatasetBytes)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Scoop.Query(q.SQL, core.QueryOptions{Mode: core.ModePushdown}); err != nil {
@@ -93,6 +96,8 @@ func BenchmarkFig5SelectivitySweep(b *testing.B) {
 	printOnce(b, "Fig. 5", func(w io.Writer) error { return experiment.Fig5(w, e) })
 	bound := e.Gen.RowSelectivityPredicate(0.5)
 	sql := fmt.Sprintf("SELECT vid, index FROM largeMeter WHERE vid < '%s'", bound)
+	b.SetBytes(e.DatasetBytes)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := e.Scoop.Query(sql, core.QueryOptions{Mode: core.ModePushdown})
@@ -112,6 +117,7 @@ func BenchmarkFig6HighSelectivity(b *testing.B) {
 	tb := cluster.OSIC()
 	w := cluster.Workload{DatasetBytes: 3 * experiment.TB, Selectivity: 0.9999, Type: cluster.Row}
 	b.ReportMetric(tb.Speedup(w), "S_Q-3TB-99.99%")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = tb.Speedup(w)
 	}
@@ -122,6 +128,8 @@ func BenchmarkFig6HighSelectivity(b *testing.B) {
 func BenchmarkFig7GridPocketQueries(b *testing.B) {
 	e := benchEnv(b)
 	printOnce(b, "Fig. 7", func(w io.Writer) error { return experiment.Fig7(w, e) })
+	b.SetBytes(int64(len(experiment.GridPocketQueries)) * e.DatasetBytes)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range experiment.GridPocketQueries {
@@ -138,6 +146,7 @@ func BenchmarkFig8ScoopVsParquet(b *testing.B) {
 	e := benchEnv(b)
 	printOnce(b, "Fig. 8", func(w io.Writer) error { return experiment.Fig8(w, e) })
 	tb := cluster.OSIC()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for sel := 0.0; sel < 1; sel += 0.1 {
@@ -158,6 +167,7 @@ func BenchmarkFig9ResourceUsage(b *testing.B) {
 	base := tb.UsageFor(w, cluster.Baseline)
 	push := tb.UsageFor(w, cluster.Pushdown)
 	b.ReportMetric(100*(1-push.ComputeCPUSeconds/base.ComputeCPUSeconds), "cpu-sec-saved-%")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = tb.UsageFor(w, cluster.Pushdown)
 	}
@@ -171,6 +181,7 @@ func BenchmarkFig10StorageCPU(b *testing.B) {
 	tb := cluster.OSIC()
 	w := cluster.Workload{DatasetBytes: 3 * experiment.TB, Selectivity: 0.99, Type: cluster.Mixed}
 	b.ReportMetric(tb.UsageFor(w, cluster.Pushdown).StorageCPUPct, "storage-cpu-%")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = tb.UsageFor(w, cluster.Pushdown)
 	}
@@ -198,6 +209,7 @@ func runCSVFilter(b *testing.B, task *pushdown.Task) {
 		RangeEnd: int64(len(benchCSVData)), ObjectSize: int64(len(benchCSVData)),
 	}
 	b.SetBytes(int64(len(benchCSVData)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := f.Invoke(ctx, bytes.NewReader(benchCSVData), io.Discard); err != nil {
@@ -253,6 +265,8 @@ func BenchmarkQueryBaseline(b *testing.B) {
 func benchQuery(b *testing.B, mode core.Mode) {
 	e := benchEnv(b)
 	q := experiment.GridPocketQueries[5].SQL // ShowGraphHCHP
+	b.SetBytes(e.DatasetBytes)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Scoop.Query(q, core.QueryOptions{Mode: mode}); err != nil {
@@ -276,6 +290,7 @@ func BenchmarkStagingObjectVsProxy(b *testing.B) {
 				Columns: []string{"vid"},
 				Stage:   stage,
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rc, _, err := client.GetObject(context.Background(), account, "meters", "part-0000.csv",
@@ -301,6 +316,8 @@ func BenchmarkAggregationPushdown(b *testing.B) {
 	q := "SELECT vid, sum(index) AS s, count(*) AS n FROM largeMeter GROUP BY vid ORDER BY vid"
 	specs := []aggfilter.Spec{{Func: aggfilter.Sum, Column: "index"}, {Func: aggfilter.Count, Column: "*"}}
 	b.Run("filter-pushdown", func(b *testing.B) {
+		b.SetBytes(e.DatasetBytes)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := e.Scoop.Query(q, core.QueryOptions{Mode: core.ModePushdown})
 			if err != nil {
@@ -312,6 +329,8 @@ func BenchmarkAggregationPushdown(b *testing.B) {
 		}
 	})
 	b.Run("aggregation-pushdown", func(b *testing.B) {
+		b.SetBytes(e.DatasetBytes)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := e.Scoop.AggregateQuery("largeMeter", []string{"vid"}, specs, nil, core.QueryOptions{})
 			if err != nil {
@@ -342,6 +361,8 @@ func benchTransfer(b *testing.B, compress bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.SetBytes(e.DatasetBytes)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Scoop.Connector().ResetStats()
@@ -366,6 +387,8 @@ func benchTransfer(b *testing.B, compress bool) {
 // BenchmarkSQLParse times parsing of the heaviest Table I query.
 func BenchmarkSQLParse(b *testing.B) {
 	q := experiment.GridPocketQueries[5].SQL
+	b.SetBytes(int64(len(q)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := parser.Parse(q); err != nil {
 			b.Fatal(err)
@@ -377,6 +400,8 @@ func BenchmarkSQLParse(b *testing.B) {
 func BenchmarkLikeMatch(b *testing.B) {
 	p := pushdown.Predicate{Column: "date", Op: pushdown.OpLike, Value: "2015-01-%"}
 	s := strings.Repeat("2015-01-17 10:20:00", 1)
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !p.Matches(s, false) {

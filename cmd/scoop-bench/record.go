@@ -1,0 +1,114 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+
+	"scoop/internal/benchrec"
+)
+
+// recordOptions configures one `scoop-bench -record` run.
+type recordOptions struct {
+	// Dir is the directory scanned for BENCH_<n>.json files and stamped into
+	// git metadata (default ".").
+	Dir string
+	// Out overrides the output path; "" picks the next BENCH_<n>.json in Dir.
+	Out string
+	// Baseline is an existing record to compare against ("" skips comparison).
+	Baseline string
+	// TolerancePct is the allowed regression before the comparison fails.
+	TolerancePct float64
+	// Repeats is how many times each benchmark runs (variance capture).
+	Repeats int
+	// BenchTime is a testing -benchtime value ("1s", "100x"); "" keeps the
+	// testing default. CI uses a reduced iteration count here.
+	BenchTime string
+	// Advisory downgrades comparison regressions to warnings (noisy runners);
+	// record and schema failures still fail the run.
+	Advisory bool
+}
+
+// errRegression marks a failed baseline comparison so main can exit nonzero
+// while the caller still distinguishes it from recording failures.
+type errRegression struct {
+	regs []benchrec.Regression
+}
+
+func (e *errRegression) Error() string {
+	return fmt.Sprintf("%d benchmark(s) regressed beyond tolerance", len(e.regs))
+}
+
+// setBenchTime routes a -benchtime value to testing.Benchmark, which reads
+// the test.benchtime flag. testing.Init is idempotent, so this is safe both
+// from the CLI binary and from tests.
+func setBenchTime(v string) error {
+	if v == "" {
+		return nil
+	}
+	testing.Init()
+	if err := flag.Set("test.benchtime", v); err != nil {
+		return fmt.Errorf("bad -benchtime %q: %w", v, err)
+	}
+	return nil
+}
+
+// runRecord records one trajectory point and optionally enforces a baseline.
+func runRecord(w io.Writer, suite []benchrec.Benchmark, opts recordOptions) error {
+	if opts.Dir == "" {
+		opts.Dir = "."
+	}
+	if err := setBenchTime(opts.BenchTime); err != nil {
+		return err
+	}
+	seq, latest, err := benchrec.NextSeq(opts.Dir)
+	if err != nil {
+		return err
+	}
+	out := opts.Out
+	if out == "" {
+		out = fmt.Sprintf("%s/BENCH_%d.json", opts.Dir, seq)
+	}
+	fmt.Fprintf(w, "recording %d benchmark(s) x%d repeats -> %s\n", len(suite), opts.Repeats, out)
+	if latest != "" {
+		fmt.Fprintf(w, "latest trajectory point: %s\n", latest)
+	}
+	results := benchrec.Run(suite, opts.Repeats)
+	rec := benchrec.New(opts.Dir, seq, opts.BenchTime, results)
+	for _, r := range rec.Results {
+		line := fmt.Sprintf("  %-40s %12.1f ns/op", r.Name, r.NsPerOp)
+		if r.BytesPerSec > 0 {
+			line += fmt.Sprintf(" %10.1f MB/s", r.BytesPerSec/1e6)
+		}
+		line += fmt.Sprintf(" %6d B/op %5d allocs/op", r.BytesPerOp, r.AllocsPerOp)
+		fmt.Fprintln(w, line)
+	}
+	if err := rec.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (seq %d)\n", out, rec.Seq)
+	if opts.Baseline == "" {
+		return nil
+	}
+	base, err := benchrec.ReadFile(opts.Baseline)
+	if err != nil {
+		return err
+	}
+	regs, err := benchrec.Compare(base, rec, opts.TolerancePct)
+	if err != nil {
+		return err
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "no regressions vs %s (tolerance %.0f%%)\n", opts.Baseline, opts.TolerancePct)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "REGRESSION %s\n", r)
+	}
+	if opts.Advisory {
+		fmt.Fprintf(w, "advisory mode: %d regression(s) vs %s not enforced\n", len(regs), opts.Baseline)
+		return nil
+	}
+	return &errRegression{regs: regs}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scoop/internal/benchrec"
+)
+
+// fastSuite is a cheap deterministic benchmark for CLI-path tests.
+func fastSuite() []benchrec.Benchmark {
+	return []benchrec.Benchmark{{Name: "BenchmarkTiny", F: func(b *testing.B) {
+		b.ReportAllocs()
+		var acc int
+		for i := 0; i < b.N; i++ {
+			acc += i
+		}
+		_ = acc
+	}}}
+}
+
+func TestRecordWritesNextTrajectoryPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmark calibration")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := runRecord(&out, fastSuite(), recordOptions{Dir: dir, Repeats: 1, BenchTime: "10x"})
+	if err != nil {
+		t.Fatalf("runRecord: %v (output: %s)", err, out.String())
+	}
+	rec, err := benchrec.ReadFile(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 1 || len(rec.Results) != 1 || rec.Results[0].Name != "BenchmarkTiny" {
+		t.Fatalf("record: %+v", rec)
+	}
+	// A second recording lands on seq 2.
+	if err := runRecord(&out, fastSuite(), recordOptions{Dir: dir, Repeats: 1, BenchTime: "10x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := benchrec.ReadFile(filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordFailsOnInjectedRegression is the acceptance check that
+// `scoop-bench -record -baseline` exits nonzero on a regression: the baseline
+// claims an impossibly fast zero-alloc run, so the recorded candidate must
+// regress beyond any reasonable tolerance and runRecord must return the
+// error main converts to exit status 1.
+func TestRecordFailsOnInjectedRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmark calibration")
+	}
+	dir := t.TempDir()
+	base := &benchrec.Record{
+		SchemaVersion: benchrec.SchemaVersion,
+		Seq:           1,
+		Results:       []benchrec.Result{{Name: "BenchmarkTiny", NsPerOp: 1e-6, AllocsPerOp: 0}},
+	}
+	basePath := filepath.Join(dir, "BENCH_1.json")
+	if err := base.WriteFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := runRecord(&out, fastSuite(), recordOptions{
+		Dir: dir, Repeats: 1, BenchTime: "10x",
+		Baseline: basePath, TolerancePct: 25,
+	})
+	var regErr *errRegression
+	if !errors.As(err, &regErr) {
+		t.Fatalf("want regression error, got %v (output: %s)", err, out.String())
+	}
+	// Advisory mode reports the same regressions but succeeds.
+	err = runRecord(&out, fastSuite(), recordOptions{
+		Dir: dir, Repeats: 1, BenchTime: "10x",
+		Baseline: basePath, TolerancePct: 25, Advisory: true,
+	})
+	if err != nil {
+		t.Fatalf("advisory mode should not fail: %v", err)
+	}
+}
+
+func TestRecordFailsOnSchemaMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmark calibration")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(bad, []byte(`{"schema_version": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := runRecord(&out, fastSuite(), recordOptions{
+		Dir: dir, Repeats: 1, BenchTime: "10x",
+		Baseline: bad, Advisory: true,
+	})
+	if err == nil {
+		t.Fatal("schema mismatch must fail even in advisory mode")
+	}
+}

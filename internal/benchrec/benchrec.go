@@ -1,0 +1,302 @@
+// Package benchrec records the repository's performance trajectory: it runs
+// Go benchmarks programmatically (testing.Benchmark), captures their headline
+// numbers — ns/op, bytes/s, allocs/op, B/op — together with host and commit
+// metadata into a versioned JSON schema, and compares a candidate recording
+// against a committed baseline with a tolerance.
+//
+// Each recording is one point of the trajectory, written as BENCH_<n>.json at
+// the repository root by `scoop-bench -record`. Committing the file alongside
+// the change it measures turns performance claims ("the zero-alloc CSV path
+// is 1.3x faster") into diffable artifacts the same way the determinism
+// manifest turns the fallback assumption into a checked file: the next PR's
+// recording either confirms the number or fails the comparison.
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// SchemaVersion is bumped on any incompatible change to the Record layout.
+// Compare refuses to diff records of different versions: a schema mismatch is
+// a hard failure, never a silently-empty comparison.
+const SchemaVersion = 1
+
+// Benchmark is one recordable benchmark: a conventional testing benchmark
+// function under a stable name. Names are the comparison key across
+// recordings, so renaming one breaks the trajectory on purpose.
+type Benchmark struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Result is the recorded outcome of one benchmark across all repeats.
+type Result struct {
+	Name string `json:"name"`
+	// N is the iteration count of the best repeat.
+	N int `json:"n"`
+	// NsPerOp is the best (minimum) across repeats — the least-noise
+	// estimate, as benchstat uses. NsPerOpRuns holds every repeat so the
+	// recording carries its own variance.
+	NsPerOp     float64   `json:"ns_per_op"`
+	NsPerOpRuns []float64 `json:"ns_per_op_runs,omitempty"`
+	// BytesPerSec is derived from the best repeat; 0 when the benchmark does
+	// not call b.SetBytes.
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+	// AllocsPerOp and BytesPerOp are the worst (maximum) across repeats:
+	// allocation counts are near-deterministic, so any repeat observing an
+	// allocation means the path allocates.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	Repeats     int   `json:"repeats"`
+}
+
+// Host describes the machine a record was captured on — enough to judge
+// whether two records are comparable at all.
+type Host struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+}
+
+// Record is one point of the benchmark trajectory.
+type Record struct {
+	SchemaVersion int    `json:"schema_version"`
+	Seq           int    `json:"seq"`
+	RecordedAt    string `json:"recorded_at"`
+	// Commit is the HEAD commit the record was captured at ("" when the
+	// repository state is unavailable); Dirty marks uncommitted changes —
+	// expected for the "before" point of an optimization PR, whose delta is
+	// exactly the uncommitted work.
+	Commit    string   `json:"commit,omitempty"`
+	Dirty     bool     `json:"dirty,omitempty"`
+	Host      Host     `json:"host"`
+	BenchTime string   `json:"bench_time,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// Run executes every benchmark in the suite repeats times and aggregates the
+// outcomes. A repeats value below 1 is treated as 1.
+func Run(suite []Benchmark, repeats int) []Result {
+	if repeats < 1 {
+		repeats = 1
+	}
+	out := make([]Result, 0, len(suite))
+	for _, bm := range suite {
+		res := Result{Name: bm.Name, Repeats: repeats}
+		for i := 0; i < repeats; i++ {
+			r := testing.Benchmark(bm.F)
+			if r.N <= 0 {
+				continue
+			}
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			res.NsPerOpRuns = append(res.NsPerOpRuns, ns)
+			if res.N == 0 || ns < res.NsPerOp {
+				res.NsPerOp = ns
+				res.N = r.N
+				if r.Bytes > 0 && r.T > 0 {
+					res.BytesPerSec = float64(r.Bytes) * float64(r.N) / r.T.Seconds()
+				}
+			}
+			if a := r.AllocsPerOp(); a > res.AllocsPerOp {
+				res.AllocsPerOp = a
+			}
+			if b := r.AllocedBytesPerOp(); b > res.BytesPerOp {
+				res.BytesPerOp = b
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// New assembles a Record around results, stamping schema version, sequence
+// number, capture time, host, and (best-effort) git commit state. dir is the
+// repository directory the git metadata is read from.
+func New(dir string, seq int, benchTime string, results []Result) *Record {
+	rec := &Record{
+		SchemaVersion: SchemaVersion,
+		Seq:           seq,
+		RecordedAt:    time.Now().UTC().Format(time.RFC3339),
+		Host: Host{
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+			CPUs:      runtime.NumCPU(),
+			GoVersion: runtime.Version(),
+		},
+		BenchTime: benchTime,
+		Results:   results,
+	}
+	rec.Commit, rec.Dirty = gitState(dir)
+	return rec
+}
+
+// gitState reports the HEAD commit and whether the tree has uncommitted
+// changes; both best-effort ("" / false when git is unavailable).
+func gitState(dir string) (string, bool) {
+	head := exec.Command("git", "rev-parse", "HEAD")
+	head.Dir = dir
+	out, err := head.Output()
+	if err != nil {
+		return "", false
+	}
+	commit := strings.TrimSpace(string(out))
+	status := exec.Command("git", "status", "--porcelain")
+	status.Dir = dir
+	st, err := status.Output()
+	if err != nil {
+		return commit, false
+	}
+	return commit, len(strings.TrimSpace(string(st))) > 0
+}
+
+// WriteFile writes the record as indented JSON.
+//
+//lint:ignore ctxpropagate CLI-local file write, no caller deadline exists
+func (r *Record) WriteFile(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchrec: encode: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("benchrec: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile loads a record, rejecting unknown schema versions.
+//
+//lint:ignore ctxpropagate CLI-local file read, no caller deadline exists
+func ReadFile(path string) (*Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchrec: read %s: %w", path, err)
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("benchrec: parse %s: %w", path, err)
+	}
+	if rec.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchrec: %s has schema version %d, this binary speaks %d",
+			path, rec.SchemaVersion, SchemaVersion)
+	}
+	return &rec, nil
+}
+
+var seqPattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextSeq scans dir for BENCH_<n>.json trajectory files and returns the next
+// free sequence number together with the path of the latest existing record
+// ("" when the trajectory is empty).
+//
+//lint:ignore ctxpropagate CLI-local directory scan, no caller deadline exists
+func NextSeq(dir string) (int, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, "", fmt.Errorf("benchrec: scan %s: %w", dir, err)
+	}
+	maxSeq, latest := 0, ""
+	for _, e := range entries {
+		m := seqPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= maxSeq {
+			continue
+		}
+		maxSeq = n
+		latest = filepath.Join(dir, e.Name())
+	}
+	return maxSeq + 1, latest, nil
+}
+
+// Regression is one benchmark metric that moved past tolerance between a
+// baseline and a candidate record.
+type Regression struct {
+	Name      string  `json:"name"`
+	Metric    string  `json:"metric"` // "ns/op", "allocs/op", or "missing"
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline, missing from candidate", r.Name)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g", r.Name, r.Metric, r.Baseline, r.Candidate)
+}
+
+// Compare diffs candidate against baseline and returns every regression
+// beyond tolerancePct. Rules:
+//
+//   - a benchmark present in the baseline but absent from the candidate is a
+//     regression (the trajectory must not silently lose coverage);
+//   - ns/op regresses when candidate > baseline * (1 + tolerance);
+//   - allocs/op regresses when candidate > baseline * (1 + tolerance), and a
+//     zero-alloc baseline is a hard property: ANY candidate allocation
+//     regresses it, tolerance notwithstanding.
+//
+// Benchmarks only in the candidate are new coverage, never a regression.
+func Compare(baseline, candidate *Record, tolerancePct float64) ([]Regression, error) {
+	if baseline == nil || candidate == nil {
+		return nil, fmt.Errorf("benchrec: compare needs two records")
+	}
+	if baseline.SchemaVersion != candidate.SchemaVersion {
+		return nil, fmt.Errorf("benchrec: schema mismatch: baseline v%d vs candidate v%d",
+			baseline.SchemaVersion, candidate.SchemaVersion)
+	}
+	if tolerancePct < 0 {
+		return nil, fmt.Errorf("benchrec: negative tolerance %v", tolerancePct)
+	}
+	factor := 1 + tolerancePct/100
+	cand := make(map[string]Result, len(candidate.Results))
+	for _, r := range candidate.Results {
+		cand[r.Name] = r
+	}
+	var regs []Regression
+	for _, base := range baseline.Results {
+		c, ok := cand[base.Name]
+		if !ok {
+			regs = append(regs, Regression{Name: base.Name, Metric: "missing"})
+			continue
+		}
+		if base.NsPerOp > 0 && c.NsPerOp > base.NsPerOp*factor {
+			regs = append(regs, Regression{
+				Name: base.Name, Metric: "ns/op",
+				Baseline: base.NsPerOp, Candidate: c.NsPerOp,
+			})
+		}
+		allocRegressed := false
+		if base.AllocsPerOp == 0 {
+			allocRegressed = c.AllocsPerOp > 0
+		} else {
+			allocRegressed = float64(c.AllocsPerOp) > float64(base.AllocsPerOp)*factor
+		}
+		if allocRegressed {
+			regs = append(regs, Regression{
+				Name: base.Name, Metric: "allocs/op",
+				Baseline: float64(base.AllocsPerOp), Candidate: float64(c.AllocsPerOp),
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs, nil
+}

@@ -1,0 +1,186 @@
+package benchrec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunCapturesMetrics(t *testing.T) {
+	if testing.Short() {
+		// testing.Benchmark calibrates to a full benchtime; keep the race
+		// gate fast and exercise this in the default-tier run.
+		t.Skip("benchmark calibration is slow under -short")
+	}
+	var sink []byte
+	suite := []Benchmark{{Name: "BenchmarkAlloc", F: func(b *testing.B) {
+		b.SetBytes(64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = make([]byte, 64)
+		}
+	}}}
+	defer func() { _ = sink }()
+	results := Run(suite, 2)
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkAlloc" || r.N == 0 || r.NsPerOp <= 0 {
+		t.Fatalf("bad result: %+v", r)
+	}
+	if r.AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %d, want 1", r.AllocsPerOp)
+	}
+	if r.BytesPerSec <= 0 {
+		t.Errorf("bytes/s = %v, want > 0 (SetBytes was called)", r.BytesPerSec)
+	}
+	if len(r.NsPerOpRuns) != 2 || r.Repeats != 2 {
+		t.Errorf("variance capture: runs=%v repeats=%d", r.NsPerOpRuns, r.Repeats)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := New(dir, 3, "1s", []Result{{Name: "BenchmarkX", N: 10, NsPerOp: 123.4, AllocsPerOp: 2}})
+	if rec.SchemaVersion != SchemaVersion || rec.Host.CPUs <= 0 || rec.Host.GoVersion == "" {
+		t.Fatalf("metadata missing: %+v", rec)
+	}
+	path := filepath.Join(dir, "BENCH_3.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 3 || len(got.Results) != 1 || got.Results[0].NsPerOp != 123.4 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestReadFileRejectsSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 999, "seq": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("schema version 999 should be rejected")
+	}
+}
+
+func TestNextSeq(t *testing.T) {
+	dir := t.TempDir()
+	seq, latest, err := NextSeq(dir)
+	if err != nil || seq != 1 || latest != "" {
+		t.Fatalf("empty dir: seq=%d latest=%q err=%v", seq, latest, err)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "notbench.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, latest, err = NextSeq(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Errorf("seq = %d, want 11", seq)
+	}
+	if filepath.Base(latest) != "BENCH_10.json" {
+		t.Errorf("latest = %q", latest)
+	}
+}
+
+func rec(results ...Result) *Record {
+	return &Record{SchemaVersion: SchemaVersion, Results: results}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := rec(Result{Name: "A", NsPerOp: 100, AllocsPerOp: 5})
+	cand := rec(Result{Name: "A", NsPerOp: 105, AllocsPerOp: 5}, Result{Name: "B", NsPerOp: 1})
+	regs, err := Compare(base, cand, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := rec(
+		Result{Name: "A", NsPerOp: 100, AllocsPerOp: 5},
+		Result{Name: "B", NsPerOp: 100, AllocsPerOp: 0},
+		Result{Name: "C", NsPerOp: 100},
+	)
+	// Synthetic regressions: A is 2x slower, B (a zero-alloc baseline) now
+	// allocates, C vanished from the candidate.
+	cand := rec(
+		Result{Name: "A", NsPerOp: 200, AllocsPerOp: 5},
+		Result{Name: "B", NsPerOp: 100, AllocsPerOp: 1},
+	)
+	regs, err := Compare(base, cand, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("regs = %v, want 3", regs)
+	}
+	byKey := map[string]string{}
+	for _, r := range regs {
+		byKey[r.Name] = r.Metric
+	}
+	if byKey["A"] != "ns/op" || byKey["B"] != "allocs/op" || byKey["C"] != "missing" {
+		t.Errorf("regs = %v", regs)
+	}
+}
+
+func TestCompareToleranceAndZeroAllocHardness(t *testing.T) {
+	base := rec(Result{Name: "A", NsPerOp: 100, AllocsPerOp: 0})
+	// Inside tolerance on time, but any alloc on a zero-alloc baseline fails
+	// regardless of tolerance.
+	cand := rec(Result{Name: "A", NsPerOp: 120, AllocsPerOp: 1})
+	regs, err := Compare(base, cand, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	base := rec()
+	cand := rec()
+	cand.SchemaVersion = SchemaVersion + 1
+	if _, err := Compare(base, cand, 10); err == nil {
+		t.Fatal("schema mismatch should error")
+	}
+	if _, err := Compare(base, rec(), -1); err == nil {
+		t.Fatal("negative tolerance should error")
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) == 0 {
+		t.Fatal("empty suite")
+	}
+	names := map[string]bool{}
+	for _, bm := range suite {
+		if bm.Name == "" || bm.F == nil {
+			t.Fatalf("malformed benchmark: %+v", bm)
+		}
+		if names[bm.Name] {
+			t.Fatalf("duplicate name %q", bm.Name)
+		}
+		names[bm.Name] = true
+	}
+	for _, want := range []string{"BenchmarkCSVFilterPassthrough", "BenchmarkCSVFilterPerRecord"} {
+		if !names[want] {
+			t.Errorf("suite missing %s", want)
+		}
+	}
+}

@@ -10,9 +10,11 @@
 package pushdown
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"scoop/internal/sql/types"
@@ -261,10 +263,195 @@ func parseFloat(s string) (float64, bool) {
 	return v.F, true
 }
 
+// MatchesBytes is Matches for a raw byte-slice field value. It exists so the
+// storage-side filters can evaluate predicates per record without converting
+// fields to strings (the old per-record allocation on the pushdown hot
+// path); semantics are identical to Matches and checked by equivalence tests.
+func (p Predicate) MatchesBytes(raw []byte, null bool) bool {
+	switch p.Op {
+	case OpIsNull:
+		return null || len(raw) == 0
+	case OpNotNull:
+		return !null && len(raw) != 0
+	}
+	if null {
+		return false
+	}
+	if p.Op == OpIn {
+		for _, v := range p.Values {
+			if matchOneBytes(OpEq, raw, v, p.Numeric) {
+				return true
+			}
+		}
+		return false
+	}
+	return matchOneBytes(p.Op, raw, p.Value, p.Numeric)
+}
+
+func matchOneBytes(op Op, raw []byte, lit string, numeric bool) bool {
+	if op == OpLike {
+		return likeMatchBytes(raw, lit)
+	}
+	var cmp int
+	if numeric {
+		a, aok := parseFloatBytes(raw)
+		b, bok := parseFloat(lit)
+		if !aok || !bok {
+			return false // non-numeric field never satisfies a numeric predicate
+		}
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	} else {
+		cmp = compareBytesString(raw, lit)
+	}
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// compareBytesString is bytes.Compare with a string on the right, avoiding a
+// conversion allocation.
+func compareBytesString(b []byte, s string) int {
+	n := min(len(b), len(s))
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
+}
+
+// parseFloatBytes parses a float from a raw field without allocating for the
+// plain-decimal shapes that dominate CSV numerics. The fallback conversion
+// allocates (strconv.ParseFloat retains its argument in errors), but only
+// for exotic syntax — exponents, hex floats, inf/NaN, >19-digit mantissas.
+// Null/ok semantics match parseFloat exactly.
+func parseFloatBytes(b []byte) (float64, bool) {
+	b = bytes.TrimSpace(b)
+	if len(b) == 0 {
+		return 0, false
+	}
+	if f, ok := fastFloat(b); ok {
+		return f, true
+	}
+	f, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// pow10 holds the exactly-representable powers of ten (10^22 is the largest).
+var pow10 = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// fastFloat parses [+-]?digits[.digits] when the mantissa fits in 53 bits
+// and the fractional exponent stays within the exact pow10 table — the
+// regime where one float division yields the correctly-rounded result, which
+// is also strconv.ParseFloat's own exact fast path, so results are
+// bit-identical. Anything else reports ok=false for the caller to fall back.
+func fastFloat(b []byte) (float64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	i, neg := 0, false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+	}
+	var mant uint64
+	frac, sawDot, sawDigit := 0, false, false
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c == '.' {
+			if sawDot {
+				return 0, false
+			}
+			sawDot = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		sawDigit = true
+		if mant >= 1<<53/10+1 {
+			return 0, false // mantissa may leave the exact-representation range
+		}
+		mant = mant*10 + uint64(c-'0')
+		if sawDot {
+			frac++
+		}
+	}
+	if !sawDigit || mant >= 1<<53 || frac >= len(pow10) {
+		return 0, false
+	}
+	f := float64(mant) / pow10[frac]
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
 // likeMatch duplicates expr.LikeMatch so the storage-side filter code does
 // not depend on the SQL engine (the paper's CSVStorlet is a standalone
 // artifact deployed into the store).
 func likeMatch(s, p string) bool {
+	var si, pi int
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			sBack++
+			si = sBack
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// likeMatchBytes is likeMatch with a byte-slice subject, avoiding the
+// per-record string conversion on the filter hot path. The algorithm is
+// byte-indexed, so the two implementations are line-for-line identical.
+func likeMatchBytes(s []byte, p string) bool {
 	var si, pi int
 	star, sBack := -1, 0
 	for si < len(s) {

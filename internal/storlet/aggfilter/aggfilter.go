@@ -12,7 +12,6 @@
 package aggfilter
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -165,7 +164,8 @@ func (f *Filter) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) error
 		preds = append(preds, boundPred{idx: idx, pred: p})
 	}
 
-	rr := csvio.NewRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
+	rr := csvio.AcquireRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
+	defer rr.Release()
 	skippedHeader := task.Options[OptHeader] != "true" || ctx.RangeStart > 0
 	groups := make(map[string]*groupState)
 	var fields [][]byte
@@ -202,7 +202,8 @@ func (f *Filter) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) error
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	bw := bufio.NewWriter(out)
+	bw := storlet.AcquireWriter(out)
+	defer storlet.ReleaseWriter(bw)
 	for _, k := range keys {
 		g := groups[k]
 		cells := append([]string(nil), g.keys...)
@@ -227,13 +228,14 @@ type boundPred struct {
 }
 
 func match(preds []boundPred, fields [][]byte) bool {
-	for _, bp := range preds {
-		var raw string
+	for i := range preds {
+		bp := &preds[i]
+		var raw []byte
 		null := bp.idx >= len(fields)
 		if !null {
-			raw = string(fields[bp.idx])
+			raw = fields[bp.idx]
 		}
-		if !bp.pred.Matches(raw, null) {
+		if !bp.pred.MatchesBytes(raw, null) {
 			return false
 		}
 	}

@@ -1,0 +1,65 @@
+//go:build !race
+
+// Allocation-budget regression test for the whole select/project pipeline:
+// one Invoke over a 1000-record range must stay within a small fixed
+// allocation budget (plan compilation, final log line), i.e. zero allocations
+// per record. Excluded under the race detector, whose instrumentation
+// allocates; scripts/verify.sh runs it in a separate non-race step.
+package csvfilter
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"scoop/internal/pushdown"
+	"scoop/internal/storlet"
+)
+
+// invokeBudget is the per-Invoke allocation allowance. It covers the
+// per-invocation fixed costs only — at one allocation per record a
+// 1000-record pass would blow it 20× over, which is what the test guards.
+const invokeBudget = 50.0
+
+func budgetRun(t *testing.T, task *pushdown.Task) float64 {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("vid8,2015-01-17 10:20:00,42.25,Rotterdam,NED\n")
+	}
+	data := sb.String()
+	f := New()
+	ctx := &storlet.Context{Task: task, RangeStart: 0, RangeEnd: int64(len(data)), ObjectSize: int64(len(data))}
+	var rd strings.Reader
+	run := func() {
+		rd.Reset(data)
+		if err := f.Invoke(ctx, &rd, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the reader/scanner/writer pools
+	return testing.AllocsPerRun(10, run)
+}
+
+func TestAllocBudgetPassthrough(t *testing.T) {
+	task := &pushdown.Task{Filter: FilterName, Schema: testSchema}
+	if avg := budgetRun(t, task); avg > invokeBudget {
+		t.Fatalf("passthrough: %v allocs per 1000-record Invoke, budget %v", avg, invokeBudget)
+	}
+}
+
+func TestAllocBudgetSelectProject(t *testing.T) {
+	task := &pushdown.Task{
+		Filter:  FilterName,
+		Schema:  testSchema,
+		Columns: []string{"vid", "index"},
+		Predicates: []pushdown.Predicate{
+			{Column: "state", Op: pushdown.OpEq, Value: "NED"},
+			{Column: "index", Op: pushdown.OpGt, Value: "5", Numeric: true},
+			{Column: "city", Op: pushdown.OpLike, Value: "Rot%"},
+		},
+	}
+	if avg := budgetRun(t, task); avg > invokeBudget {
+		t.Fatalf("select/project: %v allocs per 1000-record Invoke, budget %v", avg, invokeBudget)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"scoop/internal/csvio"
 	"scoop/internal/pushdown"
@@ -56,14 +57,27 @@ type boundPred struct {
 	pred pushdown.Predicate
 }
 
+// scanPool recycles the per-invocation field scanner (field-slice header
+// plus unquoting scratch), completing the zero-allocation steady state: with
+// the range reader and output writer pooled too, a filtered record costs no
+// heap allocation at all.
+var scanPool = sync.Pool{New: func() any { return new(csvio.FieldScanner) }}
+
 // Invoke implements storlet.Filter.
 func (f *Filter) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) error {
 	c, err := compile(ctx.Task)
 	if err != nil {
 		return err
 	}
-	rr := csvio.NewRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
-	bw := bufio.NewWriterSize(out, 64<<10)
+	rr := csvio.AcquireRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
+	defer rr.Release()
+	sc := scanPool.Get().(*csvio.FieldScanner)
+	defer scanPool.Put(sc)
+	bw := storlet.AcquireWriter(out)
+	defer storlet.ReleaseWriter(bw)
+	// A pure passthrough (no selection, no projection) emits records
+	// verbatim; splitting them into fields would be pure overhead.
+	needFields := c.projIdx != nil || len(c.preds) > 0
 	var fields [][]byte
 	skippedHeader := !c.skipHeader || ctx.RangeStart > 0
 	rows, kept := 0, 0
@@ -80,7 +94,9 @@ func (f *Filter) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) error
 			continue
 		}
 		rows++
-		fields = csvio.Fields(rec, c.delim, fields)
+		if needFields {
+			fields = sc.Scan(rec, c.delim)
+		}
 		if !c.match(fields) {
 			continue
 		}
@@ -179,15 +195,17 @@ func compile(task *pushdown.Task) (*compiled, error) {
 	return c, nil
 }
 
-// match applies the conjunction of predicates to raw fields.
+// match applies the conjunction of predicates to raw fields, comparing
+// byte slices directly — no per-record string conversion.
 func (c *compiled) match(fields [][]byte) bool {
-	for _, bp := range c.preds {
-		var raw string
+	for i := range c.preds {
+		bp := &c.preds[i]
+		var raw []byte
 		null := bp.idx >= len(fields)
 		if !null {
-			raw = string(fields[bp.idx])
+			raw = fields[bp.idx]
 		}
-		if !bp.pred.Matches(raw, null) {
+		if !bp.pred.MatchesBytes(raw, null) {
 			return false
 		}
 	}

@@ -6,7 +6,6 @@
 package etl
 
 import (
-	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
@@ -55,8 +54,10 @@ func (*Cleanse) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) error 
 			required = append(required, i)
 		}
 	}
-	rr := csvio.NewRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
-	bw := bufio.NewWriterSize(out, 64<<10)
+	rr := csvio.AcquireRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
+	defer rr.Release()
+	bw := storlet.AcquireWriter(out)
+	defer storlet.ReleaseWriter(bw)
 	var fields [][]byte
 	total, dropped := 0, 0
 	for {
@@ -128,8 +129,10 @@ func (*Split) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) error {
 			return fmt.Errorf("etl: bad parts %q", raw)
 		}
 	}
-	rr := csvio.NewRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
-	bw := bufio.NewWriterSize(out, 64<<10)
+	rr := csvio.AcquireRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
+	defer rr.Release()
+	bw := storlet.AcquireWriter(out)
+	defer storlet.ReleaseWriter(bw)
 	var fields [][]byte
 	sepB := []byte(sep)
 	for {

@@ -9,7 +9,6 @@
 package jsonfilter
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -56,8 +55,10 @@ func (f *Filter) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) error
 	}
 	skipInvalid := task.Options[OptSkipInvalid] == "true"
 
-	rr := csvio.NewRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
-	bw := bufio.NewWriterSize(out, 64<<10)
+	rr := csvio.AcquireRangeReader(in, ctx.RangeStart, ctx.RangeEnd)
+	defer rr.Release()
+	bw := storlet.AcquireWriter(out)
+	defer storlet.ReleaseWriter(bw)
 	rows, kept := 0, 0
 	for {
 		rec, err := rr.Next()

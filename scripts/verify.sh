@@ -11,6 +11,11 @@
 #                                     sandboxpure, filterdet); warm runs replay
 #                                     from the mtime-keyed on-disk cache
 #   4. go test -race -short ./...   fast-tier suite under the race detector
+#   5. go test -run TestAllocBudget   zero-allocation budgets for the record
+#                                     hot path — a separate non-race step
+#                                     because the //go:build !race budget
+#                                     tests need uninstrumented allocation
+#                                     counts (the race detector allocates)
 #
 # The chaos suite (TestChaos* in internal/integration) skips itself under
 # -short; CI runs it as its own race-enabled job, and locally it runs with
@@ -32,5 +37,8 @@ go run ./cmd/scoop-lint ./...
 
 echo "==> go test -race -short ./..."
 go test -race -short ./...
+
+echo "==> go test -run TestAllocBudget (alloc budgets, no race)"
+go test -run TestAllocBudget ./internal/csvio/ ./internal/storlet/csvfilter/
 
 echo "verify: all gates passed"
