@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"scoop/internal/lint"
+)
+
+// TestSelectAnalyzers pins the -only contract: valid names select exactly
+// those analyzers in flag order, and an unknown name is a hard error — a
+// typo'd CI gate must fail loudly, not run zero analyzers and pass.
+func TestSelectAnalyzers(t *testing.T) {
+	all := lint.Analyzers()
+
+	got, err := selectAnalyzers("allocfree,filterdet", all)
+	if err != nil {
+		t.Fatalf("valid selection errored: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "allocfree" || got[1].Name != "filterdet" {
+		names := make([]string, len(got))
+		for i, a := range got {
+			names[i] = a.Name
+		}
+		t.Errorf("selected %v, want [allocfree filterdet] in flag order", names)
+	}
+
+	// Whitespace around names is tolerated (shell-quoted lists).
+	if got, err := selectAnalyzers(" allocfree , sandboxpure ", all); err != nil || len(got) != 2 {
+		t.Errorf("whitespace-padded selection = (%d analyzers, %v), want 2, nil", len(got), err)
+	}
+
+	for _, bad := range []string{"nosuch", "allocfree,nosuch", "allocfre"} {
+		got, err := selectAnalyzers(bad, all)
+		if err == nil {
+			t.Errorf("selectAnalyzers(%q) = %d analyzers, nil; want unknown-analyzer error", bad, len(got))
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown analyzer") || !strings.Contains(err.Error(), "nosuch") && !strings.Contains(err.Error(), "allocfre") {
+			t.Errorf("selectAnalyzers(%q) error = %q, want it to name the unknown analyzer", bad, err)
+		}
+	}
+
+	// An empty segment (trailing comma) is an unknown name, not a no-op.
+	if _, err := selectAnalyzers("allocfree,", all); err == nil {
+		t.Error("trailing comma should error, not silently select fewer analyzers")
+	}
+}

@@ -128,6 +128,8 @@ func (b *boundaryReader) Read(p []byte) (int, error) {
 // Next returns the next complete record without its trailing newline. The
 // returned slice is only valid until the next call. Returns io.EOF when the
 // range is exhausted.
+//
+//scoop:hotpath
 func (r *RangeReader) Next() ([]byte, error) {
 	if r.err != nil {
 		return nil, r.err
@@ -262,6 +264,8 @@ type FieldScanner struct {
 // Scan splits one record into fields. The returned fields alias either the
 // record (unquoted fields) or the scanner's scratch buffer (quoted fields);
 // both are only valid until the next Scan.
+//
+//scoop:hotpath
 func (s *FieldScanner) Scan(record []byte, delim byte) [][]byte {
 	s.fields = s.fields[:0]
 	if bytes.IndexByte(record, '"') < 0 {
@@ -333,6 +337,8 @@ var writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Disca
 // WriteRecord writes fields as one CSV record with a trailing newline.
 // Callers passing a *bufio.Writer keep control of flushing; any other writer
 // goes through a pooled buffer that is flushed before return.
+//
+//scoop:hotpath
 func WriteRecord(w io.Writer, fields [][]byte, delim byte) error {
 	if bw, ok := w.(*bufio.Writer); ok {
 		return writeRecord(bw, fields, delim)

@@ -65,6 +65,11 @@ const (
 	// parameter) resolved by the dataflow layer: the callee is one function
 	// that may have been assigned to the value somewhere in the module.
 	Flow
+	// Devirt is an interface call devirtualized by the dataflow layer: the
+	// receiver variable's concrete type set is provably closed, so the call
+	// resolves to exactly the implementations of those types instead of the
+	// CHA fan-out. A site with Devirt edges has no Iface/Impl edges.
+	Devirt
 )
 
 // String names the kind for diagnostics.
@@ -80,6 +85,8 @@ func (k EdgeKind) String() string {
 		return "lit"
 	case Flow:
 		return "flow"
+	case Devirt:
+		return "devirt"
 	}
 	return fmt.Sprintf("EdgeKind(%d)", int(k))
 }
@@ -157,10 +164,29 @@ type Graph struct {
 	// bindings maps each func-typed variable, field, or parameter to the
 	// functions that may flow into it (the dataflow layer's result).
 	bindings map[*types.Var][]*Node
+	// ifaceSets maps each interface-typed variable or field to the concrete
+	// types that may be stored in it; ifaceOpen marks sets that are not
+	// provably closed (an unresolvable assignment shape, an escaped address,
+	// a dispatchable method parameter). Only closed non-empty sets
+	// devirtualize; everything else keeps the CHA fan-out.
+	ifaceSets map[*types.Var][]types.Type
+	ifaceOpen map[*types.Var]bool
 }
 
-// Build constructs the graph for the given units.
-func Build(units []*Unit) *Graph {
+// Options tunes graph construction.
+type Options struct {
+	// NoDevirt disables interface type-set devirtualization, keeping the
+	// pure CHA fan-out at every interface call site. Used as the benchmark
+	// baseline and to isolate devirtualization in tests.
+	NoDevirt bool
+}
+
+// Build constructs the graph for the given units with default options
+// (devirtualization enabled).
+func Build(units []*Unit) *Graph { return BuildWith(units, Options{}) }
+
+// BuildWith constructs the graph for the given units.
+func BuildWith(units []*Unit, opts Options) *Graph {
 	g := &Graph{
 		Units:       units,
 		funcs:       map[*types.Func]*Node{},
@@ -178,6 +204,9 @@ func Build(units []*Unit) *Graph {
 		}
 	}
 	g.collectBindings()
+	if !opts.NoDevirt {
+		g.collectIfaceSets()
+	}
 	for _, u := range units {
 		for _, f := range u.Files {
 			for _, decl := range f.Decls {
@@ -371,11 +400,53 @@ func (g *Graph) addCallEdges(u *Unit, from *Node, call *ast.CallExpr, isGo bool)
 			return
 		}
 		if types.IsInterface(recv) {
+			if g.devirtEdges(u, from, call, fun, fn, recv, isGo) {
+				return
+			}
 			g.ifaceEdges(from, call, fn, recv, isGo)
 			return
 		}
 		g.connect(&Edge{Caller: from, Callee: g.FuncNode(fn), Site: call.Pos(), Kind: Static, Go: isGo})
 	}
+}
+
+// devirtEdges attempts to devirtualize one interface call site: when the
+// receiver expression resolves to a tracked interface variable whose concrete
+// type set is closed and non-empty, the call gets one Devirt edge per
+// implementing type and the CHA fan-out is skipped entirely. Types in the set
+// that do not implement the call's interface (a superset inherited through a
+// type assertion) are exact to drop — the runtime value could never reach
+// this site. Reports whether the site was devirtualized.
+func (g *Graph) devirtEdges(u *Unit, from *Node, call *ast.CallExpr, sel *ast.SelectorExpr, method *types.Func, recv types.Type, isGo bool) bool {
+	v := flowTarget(u.Info, sel.X)
+	if v == nil || g.ifaceOpen[v] {
+		return false
+	}
+	set := g.ifaceSets[v]
+	if len(set) == 0 {
+		return false // empty-and-closed still falls back to CHA: no claim made
+	}
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	ifacePkg := ""
+	if method.Pkg() != nil {
+		ifacePkg = method.Pkg().Path()
+	}
+	var impls []*types.Func
+	for _, t := range set {
+		if impl := g.implementation(t, iface, method); impl != nil {
+			impls = append(impls, impl)
+		}
+	}
+	if len(impls) == 0 {
+		return false
+	}
+	for _, impl := range impls {
+		g.connect(&Edge{Caller: from, Callee: g.FuncNode(impl), Site: call.Pos(), Kind: Devirt, IfacePkg: ifacePkg, Go: isGo})
+	}
+	return true
 }
 
 // flowEdges adds one Flow edge per dataflow binding of the func value the

@@ -43,9 +43,14 @@ func inner() int { return 1 }
 `
 
 func buildMini(t *testing.T) (*Graph, *types.Package) {
+	return buildSrc(t, "mini", miniSrc, Options{})
+}
+
+// buildSrc type-checks a single-file module and builds its call graph.
+func buildSrc(t *testing.T, path, src string, opts Options) (*Graph, *types.Package) {
 	t.Helper()
 	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, "mini.go", miniSrc, parser.ParseComments)
+	file, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -58,11 +63,11 @@ func buildMini(t *testing.T) (*Graph, *types.Package) {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{}
-	pkg, err := conf.Check("mini", fset, []*ast.File{file}, info)
+	pkg, err := conf.Check(path, fset, []*ast.File{file}, info)
 	if err != nil {
 		t.Fatalf("type-check: %v", err)
 	}
-	g := Build([]*Unit{{Path: "mini", Fset: fset, Files: []*ast.File{file}, Types: pkg, Info: info}})
+	g := BuildWith([]*Unit{{Path: path, Fset: fset, Files: []*ast.File{file}, Types: pkg, Info: info}}, opts)
 	return g, pkg
 }
 
@@ -100,7 +105,11 @@ func method(t *testing.T, g *Graph, pkg *types.Package, typeName, methodName str
 }
 
 func TestStaticAndInterfaceReachability(t *testing.T) {
-	g, pkg := buildMini(t)
+	// NoDevirt pins the CHA fan-out baseline: in the default build the
+	// dataflow layer closes announce's parameter to {dog} and the dispatch
+	// devirtualizes (see TestDevirt*). CHA remains the fallback for open
+	// sets, so its shape stays pinned here.
+	g, pkg := buildSrc(t, "mini", miniSrc, Options{NoDevirt: true})
 	chain := fn(t, g, pkg, "chain")
 	barkN := fn(t, g, pkg, "bark")
 	dogSpeak := method(t, g, pkg, "dog", "speak")
@@ -130,7 +139,7 @@ func TestStaticAndInterfaceReachability(t *testing.T) {
 }
 
 func TestReachFilterExcludesImplEdges(t *testing.T) {
-	g, pkg := buildMini(t)
+	g, pkg := buildSrc(t, "mini", miniSrc, Options{NoDevirt: true})
 	chain := fn(t, g, pkg, "chain")
 	tree := g.Reach([]*Node{chain}, func(e *Edge) bool { return e.Kind != Impl })
 	if _, ok := tree[method(t, g, pkg, "dog", "speak")]; ok {
@@ -358,4 +367,186 @@ func TestFlowThroughLiteralBinding(t *testing.T) {
 	if _, ok := tree[fn(t, g, pkg, "target")]; !ok {
 		t.Errorf("viaLit should reach target through the literal bound to f")
 	}
+}
+
+// devirtSrc exercises interface type-set devirtualization: closed sets from
+// direct assignment, reassignment, composite-literal fields, and static call
+// args resolve to Devirt edges; open sets (call results, escaped addresses,
+// method parameters) keep the CHA fan-out.
+const devirtSrc = `package devirt
+
+type animal interface{ speak() string }
+
+type dog struct{}
+
+func (dog) speak() string { return "woof" }
+
+type cat struct{}
+
+func (cat) speak() string { return "meow" }
+
+func closed() string {
+	var a animal = dog{}
+	return a.speak()
+}
+
+func twoTypes(cond bool) string {
+	var a animal = dog{}
+	if cond {
+		a = cat{}
+	}
+	return a.speak()
+}
+
+type holder struct{ pet animal }
+
+func viaField() string {
+	h := holder{pet: cat{}}
+	return h.pet.speak()
+}
+
+func feed(p animal) string { return p.speak() }
+
+func callArg() string { return feed(dog{}) }
+
+func pick() animal { return dog{} }
+
+func openCallResult() string {
+	a := pick()
+	return a.speak()
+}
+
+type keeper struct{}
+
+func (keeper) tend(p animal) string { return p.speak() }
+
+func escaped() string {
+	var a animal = dog{}
+	mutate(&a)
+	return a.speak()
+}
+
+func mutate(p *animal) { *p = cat{} }
+`
+
+// outEdges collects from's out-edges of one kind, keyed by callee name.
+func outEdges(from *Node, kind EdgeKind) map[string]int {
+	out := map[string]int{}
+	for _, e := range from.Out {
+		if e.Kind == kind && e.Callee.Func != nil {
+			out[e.Callee.Func.Name()]++
+		}
+	}
+	return out
+}
+
+func TestDevirtClosedSetReplacesCHAFanOut(t *testing.T) {
+	g, pkg := buildSrc(t, "devirt", devirtSrc, Options{})
+	closed := fn(t, g, pkg, "closed")
+
+	dv := devirtTargets(t, g, closed)
+	if len(dv) != 1 || dv[0] != method(t, g, pkg, "dog", "speak") {
+		t.Fatalf("closed() devirt targets = %v, want exactly (devirt.dog).speak", names(dv))
+	}
+	if n := len(outEdges(closed, Iface)) + len(outEdges(closed, Impl)); n != 0 {
+		t.Errorf("devirtualized site still has %d Iface/Impl edges", n)
+	}
+	tree := g.Reach([]*Node{closed}, nil)
+	if _, ok := tree[method(t, g, pkg, "cat", "speak")]; ok {
+		t.Errorf("closed() must not reach (devirt.cat).speak: the set is exactly {dog}")
+	}
+}
+
+func TestDevirtReassignmentUnionsTypes(t *testing.T) {
+	g, pkg := buildSrc(t, "devirt", devirtSrc, Options{})
+	dv := devirtTargets(t, g, fn(t, g, pkg, "twoTypes"))
+	want := map[*Node]bool{
+		method(t, g, pkg, "dog", "speak"): true,
+		method(t, g, pkg, "cat", "speak"): true,
+	}
+	for _, n := range dv {
+		delete(want, n)
+	}
+	if len(dv) != 2 || len(want) != 0 {
+		t.Fatalf("twoTypes devirt targets = %v, want both speak implementations", names(dv))
+	}
+	got := outEdges(fn(t, g, pkg, "twoTypes"), Devirt)
+	if got["speak"] != 2 {
+		t.Fatalf("twoTypes should devirtualize to 2 implementations, got %v", got)
+	}
+}
+
+func TestDevirtThroughStructFieldAndCallArg(t *testing.T) {
+	g, pkg := buildSrc(t, "devirt", devirtSrc, Options{})
+
+	dv := devirtTargets(t, g, fn(t, g, pkg, "viaField"))
+	if len(dv) != 1 || dv[0] != method(t, g, pkg, "cat", "speak") {
+		t.Fatalf("viaField devirt targets = %v, want exactly (devirt.cat).speak", names(dv))
+	}
+
+	// feed's parameter closes to {dog}: its only call site passes dog{}.
+	dv = devirtTargets(t, g, fn(t, g, pkg, "feed"))
+	if len(dv) != 1 || dv[0] != method(t, g, pkg, "dog", "speak") {
+		t.Fatalf("feed devirt targets = %v, want exactly (devirt.dog).speak", names(dv))
+	}
+	tree := g.Reach([]*Node{fn(t, g, pkg, "callArg")}, nil)
+	if _, ok := tree[method(t, g, pkg, "cat", "speak")]; ok {
+		t.Errorf("callArg must not reach cat.speak through feed's devirtualized parameter")
+	}
+}
+
+// Open sets are the honest negative: no Devirt edges, CHA fan-out preserved.
+func TestDevirtOpenSetsKeepCHA(t *testing.T) {
+	g, pkg := buildSrc(t, "devirt", devirtSrc, Options{})
+	open := []*Node{
+		fn(t, g, pkg, "openCallResult"),     // interface-typed call result
+		fn(t, g, pkg, "escaped"),            // &a escapes to an untracked writer
+		method(t, g, pkg, "keeper", "tend"), // method params dispatch through unseen interfaces
+	}
+	for _, n := range open {
+		if dv := outEdges(n, Devirt); len(dv) != 0 {
+			t.Errorf("%s: open set must not devirtualize, got Devirt edges %v", n.Name(), dv)
+		}
+		if impl := outEdges(n, Impl); impl["speak"] != 2 {
+			t.Errorf("%s: want CHA fan-out to both implementations, got %v", n.Name(), impl)
+		}
+		if iface := outEdges(n, Iface); iface["speak"] != 1 {
+			t.Errorf("%s: want Iface edge to the interface method, got %v", n.Name(), iface)
+		}
+	}
+}
+
+func TestNoDevirtOptionDisablesDevirtualization(t *testing.T) {
+	g, pkg := buildSrc(t, "devirt", devirtSrc, Options{NoDevirt: true})
+	for _, n := range g.Nodes() {
+		for _, e := range n.Out {
+			if e.Kind == Devirt {
+				t.Fatalf("NoDevirt build emitted a Devirt edge from %s", n.Name())
+			}
+		}
+	}
+	closed := fn(t, g, pkg, "closed")
+	if impl := outEdges(closed, Impl); impl["speak"] != 2 {
+		t.Errorf("NoDevirt closed() should keep CHA fan-out, got %v", impl)
+	}
+}
+
+// devirtTargets returns the callee nodes of from's Devirt edges.
+func devirtTargets(t *testing.T, g *Graph, from *Node) []*Node {
+	t.Helper()
+	var out []*Node
+	for _, e := range from.Out {
+		if e.Kind == Devirt {
+			out = append(out, e.Callee)
+		}
+	}
+	return out
+}
+
+func names(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name()
+	}
+	return out
 }

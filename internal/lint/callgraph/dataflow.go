@@ -2,6 +2,7 @@ package callgraph
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -303,3 +304,426 @@ func flowTarget(info *types.Info, fun ast.Expr) *types.Var {
 // field, in deterministic order. Nil when the value is unresolved (nothing
 // in the module assigns it a resolvable function).
 func (g *Graph) Bindings(v *types.Var) []*Node { return g.bindings[v] }
+
+// ---------------------------------------------------------------------------
+// Interface type-set devirtualization.
+//
+// The same machinery as func-value tracking, pointed at interface-typed
+// variables and fields: every assignment of a concretely-typed value into an
+// interface cell records that concrete type, cell-to-cell copies propagate to
+// a fixpoint, and an interface call whose receiver cell has a provably CLOSED
+// non-empty type set resolves to Devirt edges into exactly those
+// implementations instead of the CHA fan-out.
+//
+// Soundness runs the opposite direction from func bindings: a missing func
+// binding only loses edges (the call stays unresolved, which analyzers treat
+// as "unknown"), but a missing interface binding would let the analyzer CLAIM
+// a closed set that is actually open. So every assignment shape the layer
+// cannot track must poison the destination cell as open:
+//
+//   - multi-value assignments from calls or two-result type assertions
+//   - values read out of maps, slices, channels, or dereferences
+//   - results of non-conversion calls with interface static type
+//   - cells whose address is taken (&x escapes the cell to untracked writers,
+//     e.g. json.Unmarshal; taking &x also opens interface fields of x's type)
+//   - range variables over untracked collections
+//   - interface-typed parameters of METHODS: a method can be invoked through
+//     any interface it happens to satisfy — including anonymous interface
+//     types inside std-library bodies (errors.Is probing for Is(error) bool)
+//     that no scope walk can enumerate — so its argument bindings are never
+//     complete
+//   - interface-typed parameters of functions that escape as values: a call
+//     through a func value does not bind arguments to the target's parameters
+//
+// A cell with an empty set that was never poisoned ("nothing assigns it")
+// still falls back to CHA rather than claiming provably-nil dispatch.
+// Concrete static types are exact even for call results (x := f() where f
+// returns *T contributes exactly *T); only interface-typed sources need cell
+// tracking. Writes from _test.go files are outside the loaded set — the
+// proof, like sandboxpure's and filterdet's, covers the non-test build.
+
+// collectIfaceSets builds the module-wide interface type sets. Must run after
+// collectBindings (it reuses assignTarget/staticCalleeFunc helpers and the
+// declared-node index) and before edge construction.
+func (g *Graph) collectIfaceSets() {
+	sets := map[*types.Var]map[string]types.Type{}
+	open := map[*types.Var]bool{}
+	flow := map[*types.Var]map[*types.Var]bool{}
+
+	isIfaceVar := func(v *types.Var) bool { return v != nil && types.IsInterface(v.Type()) }
+	addType := func(dst *types.Var, t types.Type) {
+		if sets[dst] == nil {
+			sets[dst] = map[string]types.Type{}
+		}
+		sets[dst][types.TypeString(t, nil)] = t
+	}
+	addFlow := func(dst, src *types.Var) {
+		if dst == src {
+			return
+		}
+		if flow[dst] == nil {
+			flow[dst] = map[*types.Var]bool{}
+		}
+		flow[dst][src] = true
+	}
+	poison := func(v *types.Var) {
+		if isIfaceVar(v) {
+			open[v] = true
+		}
+	}
+	// poisonFieldsOfType opens every interface-typed field reachable inside a
+	// struct type whose memory may be written by untracked code (its address
+	// escaped). Field objects are shared across all instances of the type, so
+	// this conservatively opens the whole conflated cell.
+	var poisonFieldsOfType func(t types.Type, seen map[*types.Struct]bool)
+	poisonFieldsOfType = func(t types.Type, seen map[*types.Struct]bool) {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || seen[st] {
+			return
+		}
+		seen[st] = true
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if types.IsInterface(f.Type()) {
+				open[f] = true
+				continue
+			}
+			poisonFieldsOfType(f.Type(), seen)
+		}
+	}
+	poisonAddressed := func(v *types.Var) {
+		poison(v)
+		poisonFieldsOfType(v.Type(), map[*types.Struct]bool{})
+	}
+	openFuncIfaceParams := func(fn *types.Func) {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		params := sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			poison(params.At(i))
+		}
+	}
+
+	// bindIface records one value flowing into one interface-typed cell:
+	// concrete static types contribute exactly themselves, interface-typed
+	// sources contribute their cell (assignment, field read, assertion
+	// operand, conversion operand), everything else poisons.
+	var bindIface func(u *Unit, dst *types.Var, expr ast.Expr)
+	bindIface = func(u *Unit, dst *types.Var, expr ast.Expr) {
+		if !isIfaceVar(dst) {
+			return
+		}
+		expr = ast.Unparen(expr)
+		tv, ok := u.Info.Types[expr]
+		if !ok || tv.Type == nil {
+			poison(dst)
+			return
+		}
+		if tv.IsNil() {
+			return // nil contributes no dispatch target
+		}
+		if !types.IsInterface(tv.Type) {
+			addType(dst, tv.Type)
+			return
+		}
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if v, ok := u.Info.Uses[e].(*types.Var); ok {
+				addFlow(dst, v)
+				return
+			}
+			poison(dst)
+		case *ast.SelectorExpr:
+			if sel, ok := u.Info.Selections[e]; ok {
+				if sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						addFlow(dst, v)
+						return
+					}
+				}
+				poison(dst)
+				return
+			}
+			if v, ok := u.Info.Uses[e.Sel].(*types.Var); ok {
+				addFlow(dst, v) // package-qualified var
+				return
+			}
+			poison(dst)
+		case *ast.TypeAssertExpr:
+			// x.(I): the operand's set is a superset of the values that can
+			// pass the assertion; devirt drops non-implementing types exactly.
+			bindIface(u, dst, e.X)
+		case *ast.CallExpr:
+			if tvFun, ok := u.Info.Types[ast.Unparen(e.Fun)]; ok && tvFun.IsType() && len(e.Args) == 1 {
+				bindIface(u, dst, e.Args[0]) // interface conversion: I(x)
+				return
+			}
+			poison(dst) // interface-typed call result: untracked
+		default:
+			poison(dst) // index/deref/recv/...: untracked shapes
+		}
+	}
+
+	poisonAddr := func(u *Unit, expr ast.Expr) {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.CompositeLit:
+			// &T{...}: a fresh literal's field stores are tracked by
+			// bindIfaceCompositeLit, and later writes through the pointer are
+			// either selector assignments (tracked) or an escape to an
+			// out-of-module callee (poisoned at that call, below).
+		case *ast.Ident:
+			obj := u.Info.Uses[e]
+			if obj == nil {
+				obj = u.Info.Defs[e]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				poisonAddressed(v)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := u.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					poisonAddressed(v)
+				}
+				return
+			}
+			if v, ok := u.Info.Uses[e.Sel].(*types.Var); ok {
+				poisonAddressed(v)
+			}
+		default:
+			// &slice[i], &*p, ...: the pointee type's interface fields become
+			// writable through the escaped pointer.
+			if tv, ok := u.Info.Types[expr]; ok && tv.Type != nil {
+				poisonFieldsOfType(tv.Type, map[*types.Struct]bool{})
+			}
+		}
+	}
+
+	// A pointer passed to code whose writes the walk cannot see — a
+	// std-library function (json.Unmarshal writes interface fields
+	// reflectively), a bodyless declaration, a call through a func value —
+	// opens every interface field reachable from the pointee. Module
+	// functions with bodies are exempt: their field writes are ordinary
+	// selector assignments the walk tracks directly. Builtins and
+	// conversions never write fields.
+	poisonEscapedPtrArgs := func(u *Unit, call *ast.CallExpr) {
+		fun := ast.Unparen(call.Fun)
+		if tv, ok := u.Info.Types[fun]; ok && tv.IsType() {
+			return
+		}
+		if id, ok := fun.(*ast.Ident); ok {
+			if _, isBuiltin := u.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+		if fn := staticCalleeFunc(u.Info, call); fn != nil {
+			if n := g.funcs[fn]; n != nil && n.Body != nil {
+				return
+			}
+		}
+		for _, arg := range call.Args {
+			tv, ok := u.Info.Types[ast.Unparen(arg)]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				poisonFieldsOfType(tv.Type, map[*types.Struct]bool{})
+			}
+		}
+	}
+
+	for _, u := range g.Units {
+		for _, f := range u.Files {
+			// Pre-pass: the exact expression nodes used as direct callees, so
+			// a later func reference outside that position counts as a value
+			// use (which bypasses argument binding at its call-through sites).
+			callFun := map[ast.Node]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					callFun[ast.Unparen(call.Fun)] = true
+				}
+				return true
+			})
+			selSel := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncDecl:
+					if x.Recv != nil {
+						// Methods are dispatchable through interfaces the
+						// analysis cannot enumerate: their interface-typed
+						// parameters are permanently open.
+						if fn, ok := u.Info.Defs[x.Name].(*types.Func); ok {
+							openFuncIfaceParams(fn)
+						}
+					}
+				case *ast.AssignStmt:
+					if x.Tok != token.ASSIGN && x.Tok != token.DEFINE {
+						return true
+					}
+					if len(x.Lhs) == len(x.Rhs) {
+						for i, lhs := range x.Lhs {
+							bindIface(u, assignTarget(u.Info, lhs), x.Rhs[i])
+						}
+						return true
+					}
+					for _, lhs := range x.Lhs {
+						poison(assignTarget(u.Info, lhs)) // multi-value: untracked
+					}
+				case *ast.ValueSpec:
+					if len(x.Names) == len(x.Values) {
+						for i, name := range x.Names {
+							v, _ := u.Info.Defs[name].(*types.Var)
+							bindIface(u, v, x.Values[i])
+						}
+						return true
+					}
+					if len(x.Values) > 0 {
+						for _, name := range x.Names {
+							v, _ := u.Info.Defs[name].(*types.Var)
+							poison(v)
+						}
+					}
+				case *ast.RangeStmt:
+					// Container elements are untracked cells.
+					poison(assignTarget(u.Info, x.Key))
+					poison(assignTarget(u.Info, x.Value))
+				case *ast.CompositeLit:
+					g.bindIfaceCompositeLit(u, x, bindIface)
+				case *ast.CallExpr:
+					g.bindIfaceCallArgs(u, x, bindIface)
+					poisonEscapedPtrArgs(u, x)
+				case *ast.UnaryExpr:
+					if x.Op == token.AND {
+						poisonAddr(u, x.X)
+					}
+				case *ast.SelectorExpr:
+					selSel[x.Sel] = true
+					if callFun[x] {
+						return true
+					}
+					if sel, ok := u.Info.Selections[x]; ok {
+						if fn, ok := sel.Obj().(*types.Func); ok {
+							openFuncIfaceParams(fn) // method value use
+						}
+						return true
+					}
+					if fn, ok := u.Info.Uses[x.Sel].(*types.Func); ok {
+						openFuncIfaceParams(fn) // pkg-qualified func value use
+					}
+				case *ast.Ident:
+					if callFun[x] || selSel[x] {
+						return true
+					}
+					if fn, ok := u.Info.Uses[x].(*types.Func); ok {
+						openFuncIfaceParams(fn) // func value use
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate cell-to-cell copies (types and openness) to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for dst, srcs := range flow {
+			for src := range srcs {
+				if open[src] && !open[dst] && isIfaceVar(dst) {
+					open[dst] = true
+					changed = true
+				}
+				for key, t := range sets[src] {
+					if sets[dst] == nil || sets[dst][key] == nil {
+						addType(dst, t)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	g.ifaceOpen = open
+	g.ifaceSets = make(map[*types.Var][]types.Type, len(sets))
+	for v, set := range sets {
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]types.Type, len(keys))
+		for i, k := range keys {
+			out[i] = set[k]
+		}
+		g.ifaceSets[v] = out
+	}
+}
+
+// bindIfaceCompositeLit records concrete values stored into interface-typed
+// struct fields by a composite literal, keyed or positional. Map/slice/array
+// literals stay untracked: their element reads poison the reader instead.
+func (g *Graph) bindIfaceCompositeLit(u *Unit, lit *ast.CompositeLit, bindIface func(*Unit, *types.Var, ast.Expr)) {
+	tv, ok := u.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			field, _ := u.Info.Uses[key].(*types.Var)
+			bindIface(u, field, kv.Value)
+			continue
+		}
+		if i < st.NumFields() {
+			bindIface(u, st.Field(i), elt)
+		}
+	}
+}
+
+// bindIfaceCallArgs records concrete values passed as arguments to a
+// statically resolved function, binding them to the callee's interface-typed
+// parameters. Method parameters are bound too, but stay open regardless (see
+// collectIfaceSets); parameters only close for plain functions whose every
+// call site is static.
+func (g *Graph) bindIfaceCallArgs(u *Unit, call *ast.CallExpr, bindIface func(*Unit, *types.Var, ast.Expr)) {
+	fn := staticCalleeFunc(u.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param *types.Var
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			param = params.At(i)
+		case sig.Variadic() && params.Len() > 0:
+			param = params.At(params.Len() - 1) // slice-typed: bindIface skips
+		}
+		bindIface(u, param, arg)
+	}
+}
+
+// IfaceBindings returns the concrete types that may be stored in the given
+// interface-typed variable or field, plus whether the set is open (not
+// provably complete). Only a non-empty closed set devirtualizes call sites.
+func (g *Graph) IfaceBindings(v *types.Var) ([]types.Type, bool) {
+	return g.ifaceSets[v], g.ifaceOpen[v]
+}

@@ -358,6 +358,8 @@ func detViolations(pkgs []*Package, graph *callgraph.Graph, c detCandidate) []de
 		switch e.Kind {
 		case callgraph.Static, callgraph.Lit, callgraph.Flow, callgraph.Iface:
 			return true
+		case callgraph.Devirt:
+			return true // value-proven dispatch: followed ungated, like Flow
 		case callgraph.Impl:
 			return graph.ModulePath(e.IfacePkg)
 		}

@@ -137,6 +137,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerGoroLeak,
 		AnalyzerSandboxPure,
 		AnalyzerFilterDet,
+		AnalyzerAllocFree,
 	}
 }
 
@@ -144,11 +145,17 @@ func Analyzers() []*Analyzer {
 // Exposed so callers (benchmarks, future tooling) can build it without
 // running an analyzer.
 func BuildGraph(pkgs []*Package) *callgraph.Graph {
+	return BuildGraphOpts(pkgs, callgraph.Options{})
+}
+
+// BuildGraphOpts is BuildGraph with explicit construction options (the
+// devirtualization benchmark builds a CHA-only graph for comparison).
+func BuildGraphOpts(pkgs []*Package, opts callgraph.Options) *callgraph.Graph {
 	units := make([]*callgraph.Unit, len(pkgs))
 	for i, p := range pkgs {
 		units[i] = &callgraph.Unit{Path: p.Path, Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}
 	}
-	return callgraph.Build(units)
+	return callgraph.BuildWith(units, opts)
 }
 
 // Run executes the given analyzers over the given packages and returns all

@@ -62,6 +62,12 @@ func runSandboxPure(pass *ModulePass) {
 		switch e.Kind {
 		case callgraph.Static, callgraph.Lit, callgraph.Iface:
 			return true
+		case callgraph.Devirt:
+			// Devirtualized dispatch is value-proven (the receiver's concrete
+			// type set is closed), so unlike module-gated Impl fan-out it is
+			// followed unconditionally — including into std-declared
+			// interfaces, which CHA treats as opaque.
+			return true
 		case callgraph.Impl:
 			return pass.Graph.ModulePath(e.IfacePkg)
 		}

@@ -1,0 +1,271 @@
+// Package allocfree exercises the allocfree analyzer: one function per
+// allocation-site class, one per amortized exemption, and both sides of the
+// devirtualization boundary.
+package allocfree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+type rec struct {
+	fields  [][]byte
+	scratch []byte
+}
+
+// ---- allocation-site classes: each line must be caught ----
+
+//scoop:hotpath
+func badConvString(b []byte) string {
+	return string(b) // want:allocfree hot path is not allocation-free: string([]byte) conversion allocates per record
+}
+
+//scoop:hotpath
+func badConvBytes(s string) []byte {
+	return []byte(s) // want:allocfree hot path is not allocation-free: []byte(string) conversion allocates per record
+}
+
+//scoop:hotpath
+func badConcat(a, b string) string {
+	return a + b // want:allocfree hot path is not allocation-free: string concatenation allocates per record
+}
+
+//scoop:hotpath
+func badMake(n int) []byte {
+	return make([]byte, n) // want:allocfree hot path is not allocation-free: make allocates per record
+}
+
+//scoop:hotpath
+func badMakeMap() map[string]int {
+	return make(map[string]int) // want:allocfree hot path is not allocation-free: make(map) allocates per record
+}
+
+//scoop:hotpath
+func badMakeChan() chan int {
+	return make(chan int) // want:allocfree hot path is not allocation-free: make(chan) allocates per record
+}
+
+//scoop:hotpath
+func badNew() *rec {
+	return new(rec) // want:allocfree hot path is not allocation-free: new allocates per record
+}
+
+//scoop:hotpath
+func badAppend(dst []byte, b byte) []byte {
+	return append(dst, b) // want:allocfree hot path is not allocation-free: append may grow per record
+}
+
+//scoop:hotpath
+func badEscape() *rec {
+	return &rec{} // want:allocfree hot path is not allocation-free: address-taken composite literal escapes per record
+}
+
+//scoop:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want:allocfree hot path is not allocation-free: map literal allocates per record
+}
+
+//scoop:hotpath
+func badSliceLit() []int {
+	return []int{1, 2} // want:allocfree hot path is not allocation-free: slice literal allocates per record
+}
+
+//scoop:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want:allocfree hot path is not allocation-free: func literal captures variables
+}
+
+func idle() {}
+
+//scoop:hotpath
+func badGo() {
+	go idle() // want:allocfree hot path is not allocation-free: go statement launches a goroutine per record
+}
+
+//scoop:hotpath
+func badBoxAssign(n int) {
+	var v interface{}
+	v = n // want:allocfree hot path is not allocation-free: boxing int into interface variable
+	_ = v
+}
+
+func consume(v interface{}) { _ = v }
+
+//scoop:hotpath
+func badBoxArg(n int) {
+	consume(n) // want:allocfree hot path is not allocation-free: boxing int into interface argument
+}
+
+//scoop:hotpath
+func badBoxReturn(n int) interface{} {
+	return n // want:allocfree hot path is not allocation-free: boxing int into interface return value
+}
+
+type box struct{ v interface{} }
+
+//scoop:hotpath
+func badBoxField(n int) box {
+	return box{v: n} // want:allocfree hot path is not allocation-free: boxing int into interface struct field
+}
+
+//scoop:hotpath
+func badFmt(n int) {
+	fmt.Println(n) // want:allocfree hot path is not allocation-free: calls fmt.Println, which allocates per record
+}
+
+//scoop:hotpath
+func badErrorsNew() error {
+	return errors.New("x") // want:allocfree hot path is not allocation-free: calls errors.New, which allocates per record
+}
+
+//scoop:hotpath
+func badUnknownStd(s string) string {
+	return strings.Repeat(s, 2) // want:allocfree hot path is not allocation-free: calls strings.Repeat: not on the allocation-free allowlist
+}
+
+// hook is engine-supplied: the dataflow layer has no binding for it.
+var hook func()
+
+//scoop:hotpath
+func badFuncValue() {
+	hook() // want:allocfree hot path is not allocation-free: call through a func value the dataflow layer cannot resolve
+}
+
+// A finding two hops deep still carries the full root->site path (the
+// filterdet-style path chain is asserted in allocfree_test.go).
+//
+//scoop:hotpath
+func badDeepRoot(b []byte) int {
+	return deepMiddle(b)
+}
+
+func deepMiddle(b []byte) int { return deepLeaf(b) }
+
+func deepLeaf(b []byte) int {
+	return len(string(b)) // want:allocfree hot path is not allocation-free: string([]byte) conversion allocates per record
+}
+
+// ---- interface dispatch: devirtualized is proven, open is reported ----
+
+type enc interface{ encode([]byte) int }
+
+type nopEnc struct{}
+
+func (nopEnc) encode(b []byte) int { return len(b) }
+
+type sizeEnc struct{}
+
+func (sizeEnc) encode(b []byte) int { return cap(b) }
+
+var defaultEnc enc = nopEnc{}
+
+func pickEnc() enc { return defaultEnc }
+
+//scoop:hotpath
+func badOpenDispatch() int {
+	e := pickEnc() // call result: the type set is open
+	return e.encode(nil) // want:allocfree hot path is not allocation-free: interface dispatch (fixture/allocfree.enc).encode is not devirtualized
+}
+
+type devirtHolder struct{ e enc }
+
+func newDevirtHolder() *devirtHolder { return &devirtHolder{e: nopEnc{}} }
+
+// goodDevirt's dispatch devirtualizes: the field's concrete type set is
+// exactly {nopEnc}, whose encode is allocation-free, so no finding.
+//
+//scoop:hotpath
+func goodDevirt(h *devirtHolder) int {
+	return h.e.encode(nil)
+}
+
+// ---- amortized idioms: these must stay silent ----
+
+//scoop:hotpath
+func goodCapGuard(r *rec, n int) {
+	if cap(r.scratch) < n {
+		r.scratch = make([]byte, 0, n)
+	}
+	r.scratch = r.scratch[:0]
+}
+
+//scoop:hotpath
+func goodFieldAppend(r *rec, b []byte) {
+	fields := r.fields[:0]
+	fields = append(fields, b)
+	r.fields = fields
+}
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// AcquireBuf is a pool boundary: its allocations amortize across records.
+func AcquireBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+// ReleaseBuf returns a buffer to the pool.
+func ReleaseBuf(b *bytes.Buffer) { b.Reset(); bufPool.Put(b) }
+
+//scoop:hotpath
+func goodPool(b []byte) int {
+	buf := AcquireBuf()
+	n, _ := buf.Write(b)
+	ReleaseBuf(buf)
+	return n
+}
+
+func validate(b []byte) error { return nil }
+
+//scoop:hotpath
+func goodColdError(b []byte) error {
+	if err := validate(b); err != nil {
+		return fmt.Errorf("bad record: %w", err) // error path: cold
+	}
+	return nil
+}
+
+func spill(s string) { _ = s }
+
+//scoop:hotpath
+func goodColdMarked(b []byte) {
+	if len(b) > 1<<20 {
+		//scoop:cold
+		spill(string(b)) // once per oversized record class, marked cold
+	}
+}
+
+//scoop:hotpath
+func goodAllowlist(b []byte) int {
+	return bytes.IndexByte(b, ',')
+}
+
+// ---- loop-region roots: setup outside the loop is per-invocation ----
+
+var latest string
+
+func loopRegion(rows [][]byte) {
+	header := string(rows[0]) // setup: outside the annotated loop, exempt
+	_ = header
+	//scoop:hotpath
+	for _, row := range rows {
+		latest = string(row) // want:allocfree hot path is not allocation-free: string([]byte) conversion allocates per record
+	}
+}
+
+// ---- an acknowledged finding is suppressed in place, not silently missed ----
+// (allocfree_test.go proves the raw finding exists before suppression.)
+
+//scoop:hotpath
+func ignoredSpill(b []byte) string {
+	//lint:ignore allocfree fixture: proves module-analyzer suppression works
+	return string(b)
+}
+
+// ---- a marker attached to neither a func doc nor a loop is reported ----
+
+func misplacedHost() int {
+	x := 1
+	//scoop:hotpath // want:allocfree misplaced //scoop:hotpath
+	return x
+}

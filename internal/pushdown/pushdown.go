@@ -16,8 +16,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-
-	"scoop/internal/sql/types"
 )
 
 // HeaderName is the HTTP header carrying a serialized pushdown task on object
@@ -255,18 +253,35 @@ func matchOne(op Op, raw, lit string, numeric bool) bool {
 	return false
 }
 
+// parseFloat parses a numeric operand with SQL coercion semantics (leading/
+// trailing space ignored, non-numeric text is NULL), matching what
+// types.Coerce(s, types.Float) used to produce here — without pulling the SQL
+// engine's Value box into the predicate hot path. fastFloatString handles the
+// plain-decimal shapes that dominate both CSV fields and predicate literals
+// allocation-free; only exotic syntax (exponents, hex floats, inf/NaN,
+// >19-digit mantissas) falls back to strconv.
 func parseFloat(s string) (float64, bool) {
-	v := types.Coerce(strings.TrimSpace(s), types.Float)
-	if v.IsNull() {
+	s = strings.TrimSpace(s)
+	if len(s) == 0 {
 		return 0, false
 	}
-	return v.F, true
+	if f, ok := fastFloatString(s); ok {
+		return f, true
+	}
+	//lint:ignore allocfree strconv.ParseFloat only allocates on its error path (*strconv.NumError), reached once per non-numeric exotic literal, not per plain-decimal record — fastFloatString above absorbs those
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
 }
 
 // MatchesBytes is Matches for a raw byte-slice field value. It exists so the
 // storage-side filters can evaluate predicates per record without converting
 // fields to strings (the old per-record allocation on the pushdown hot
 // path); semantics are identical to Matches and checked by equivalence tests.
+//
+//scoop:hotpath
 func (p Predicate) MatchesBytes(raw []byte, null bool) bool {
 	switch p.Op {
 	case OpIsNull:
@@ -359,6 +374,7 @@ func parseFloatBytes(b []byte) (float64, bool) {
 	if f, ok := fastFloat(b); ok {
 		return f, true
 	}
+	//lint:ignore allocfree the string([]byte) conversion and strconv fallback only run for exotic float syntax fastFloat rejects; plain-decimal records never reach this line
 	f, err := strconv.ParseFloat(string(b), 64)
 	if err != nil {
 		return 0, false
@@ -390,6 +406,52 @@ func fastFloat(b []byte) (float64, bool) {
 	frac, sawDot, sawDigit := 0, false, false
 	for ; i < len(b); i++ {
 		c := b[i]
+		if c == '.' {
+			if sawDot {
+				return 0, false
+			}
+			sawDot = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		sawDigit = true
+		if mant >= 1<<53/10+1 {
+			return 0, false // mantissa may leave the exact-representation range
+		}
+		mant = mant*10 + uint64(c-'0')
+		if sawDot {
+			frac++
+		}
+	}
+	if !sawDigit || mant >= 1<<53 || frac >= len(pow10) {
+		return 0, false
+	}
+	f := float64(mant) / pow10[frac]
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+// fastFloatString is fastFloat over a string, duplicated rather than
+// converted (like likeMatch/likeMatchBytes) so neither side of the predicate
+// evaluator pays a conversion allocation. Keep the two in lockstep — the
+// bit-identity tests cover both through parseFloat/parseFloatBytes.
+func fastFloatString(s string) (float64, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	i, neg := 0, false
+	if s[0] == '+' || s[0] == '-' {
+		neg = s[0] == '-'
+		i++
+	}
+	var mant uint64
+	frac, sawDot, sawDigit := 0, false, false
+	for ; i < len(s); i++ {
+		c := s[i]
 		if c == '.' {
 			if sawDot {
 				return 0, false

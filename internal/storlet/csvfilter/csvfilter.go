@@ -81,6 +81,9 @@ func (f *Filter) Invoke(ctx *storlet.Context, in io.Reader, out io.Writer) error
 	var fields [][]byte
 	skippedHeader := !c.skipHeader || ctx.RangeStart > 0
 	rows, kept := 0, 0
+	// The per-record loop: everything below runs once per CSV record, so it
+	// must stay allocation-free — setup above is per-invocation and exempt.
+	//scoop:hotpath
 	for {
 		rec, err := rr.Next()
 		if errors.Is(err, io.EOF) {

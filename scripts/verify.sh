@@ -8,10 +8,14 @@
 #                                     (closebody, errwrap, lockheld, chanleak,
 #                                     slotleak, ctxpropagate) and whole-module
 #                                     call-graph (lockorder, goroleak,
-#                                     sandboxpure, filterdet); warm runs replay
-#                                     from the mtime-keyed on-disk cache
-#   4. go test -race -short ./...   fast-tier suite under the race detector
-#   5. go test -run TestAllocBudget   zero-allocation budgets for the record
+#                                     sandboxpure, filterdet, allocfree); warm
+#                                     runs replay from the mtime-keyed cache
+#   4. scoop-lint -only allocfree   the zero-alloc hot-path proof, re-run
+#                                     standalone (warm: replays from cache) so
+#                                     a broken //scoop:hotpath root fails with
+#                                     its own named step in the gate output
+#   5. go test -race -short ./...   fast-tier suite under the race detector
+#   6. go test -run TestAllocBudget   zero-allocation budgets for the record
 #                                     hot path — a separate non-race step
 #                                     because the //go:build !race budget
 #                                     tests need uninstrumented allocation
@@ -34,6 +38,9 @@ go vet ./...
 
 echo "==> scoop-lint ./..."
 go run ./cmd/scoop-lint ./...
+
+echo "==> scoop-lint -only allocfree ./... (zero-alloc hot-path proof)"
+go run ./cmd/scoop-lint -only allocfree ./...
 
 echo "==> go test -race -short ./..."
 go test -race -short ./...
