@@ -39,15 +39,17 @@ func main() {
 	replicas := flag.Int("replicas", 3, "object replica count")
 	timeout := flag.Duration("filter-timeout", 5*time.Minute, "per-invocation filter timeout")
 	dataDir := flag.String("data-dir", "", "persist objects under this directory (default: in-memory)")
+	cacheBytes := flag.Int64("result-cache-bytes", 256<<20, "pushdown result cache capacity in bytes (0 disables)")
 	flag.Parse()
 
 	cluster, err := objectstore.NewCluster(objectstore.ClusterConfig{
-		Proxies:      *proxies,
-		ObjectNodes:  *nodes,
-		DisksPerNode: *disks,
-		Replicas:     *replicas,
-		Limits:       storlet.Limits{Timeout: *timeout},
-		DataDir:      *dataDir,
+		Proxies:          *proxies,
+		ObjectNodes:      *nodes,
+		DisksPerNode:     *disks,
+		Replicas:         *replicas,
+		Limits:           storlet.Limits{Timeout: *timeout},
+		DataDir:          *dataDir,
+		ResultCacheBytes: *cacheBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scoopd:", err)

@@ -7,7 +7,9 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"scoop/internal/detmanifest"
 	"scoop/internal/metrics"
+	"scoop/internal/resultcache"
 	"scoop/internal/ring"
 	"scoop/internal/storlet"
 )
@@ -31,6 +33,12 @@ type ClusterConfig struct {
 	// StoreWrap, when set, wraps each node's storage engine at construction
 	// — the seam the chaos suite uses to inject per-node faults.
 	StoreWrap func(node string, s Store) Store
+	// ResultCacheBytes bounds the shared pushdown result cache (LRU by body
+	// bytes); <= 0 disables the cache entirely.
+	ResultCacheBytes int64
+	// ResultCacheEntryBytes bounds a single cached body; 0 defaults to
+	// ResultCacheBytes/8.
+	ResultCacheEntryBytes int64
 }
 
 // DefaultClusterConfig returns a small cluster with the testbed's shape.
@@ -55,6 +63,7 @@ type Cluster struct {
 	engine  *storlet.Engine
 	reg     *Registry
 	metrics *metrics.Registry
+	cache   *resultcache.Cache
 
 	next    atomic.Uint64
 	lbBytes atomic.Int64
@@ -116,14 +125,29 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err := rg.Rebalance(); err != nil {
 		return nil, err
 	}
+	if cfg.ResultCacheBytes > 0 {
+		// One cache shared by all proxies: keys are content-hash based, so
+		// cross-proxy sharing is always safe, and a herd spread across
+		// proxies by the load balancer still collapses to one execution.
+		c.cache = resultcache.New(resultcache.Config{
+			Capacity:      cfg.ResultCacheBytes,
+			MaxEntryBytes: cfg.ResultCacheEntryBytes,
+			Proven:        detmanifest.IsProven,
+			Metrics:       c.metrics,
+		})
+	}
 	for i := 0; i < cfg.Proxies; i++ {
 		p := NewProxy(fmt.Sprintf("proxy-%02d", i), rg, c.nodeMap, engine, c.reg)
 		p.SetMetrics(c.metrics)
 		p.SetWriteQuorum(cfg.WriteQuorum)
+		p.SetResultCache(c.cache)
 		c.proxies = append(c.proxies, p)
 	}
 	return c, nil
 }
+
+// ResultCache returns the shared pushdown result cache, or nil when disabled.
+func (c *Cluster) ResultCache() *resultcache.Cache { return c.cache }
 
 // Metrics returns the cluster's shared recovery-counter registry (failover,
 // resume, quorum and repair counts across all proxies).
@@ -270,3 +294,12 @@ func (l *lbCounted) Read(p []byte) (int, error) {
 }
 
 func (l *lbCounted) Close() error { return l.rc.Close() }
+
+// CacheStatus forwards the result-cache status so the HTTP handler (which
+// sees only the lb-wrapped stream) can still emit HeaderCacheStatus.
+func (l *lbCounted) CacheStatus() string {
+	if s, ok := l.rc.(CacheStatuser); ok {
+		return s.CacheStatus()
+	}
+	return ""
+}

@@ -33,7 +33,18 @@ const (
 	HeaderDisablePushdown = "X-Container-Disable-Pushdown"
 	HeaderPutPipeline     = "X-Container-Put-Pipeline"
 	metaHeaderPrefix      = "X-Object-Meta-"
+	// HeaderCacheStatus reports how the result cache served a pushdown GET:
+	// hit | miss | collapsed. Absent when the cache was bypassed or disabled.
+	HeaderCacheStatus = "X-Scoop-Cache"
 )
+
+// CacheStatuser is implemented by streams that know how the result cache
+// served them; the handler surfaces the status in HeaderCacheStatus and
+// wrapping readers (load-balancer accounting, client trailer checking)
+// forward it.
+type CacheStatuser interface {
+	CacheStatus() string
+}
 
 // Handler serves the store API over HTTP, delegating to any Client —
 // typically a Cluster's load-balanced client, making this process the
@@ -193,6 +204,11 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, account, c
 		defer rc.Close()
 		w.Header().Set("ETag", info.ETag)
 		setMetaHeaders(w.Header(), info.Meta)
+		if cs, ok := rc.(CacheStatuser); ok {
+			if s := cs.CacheStatus(); s != "" {
+				w.Header().Set(HeaderCacheStatus, s)
+			}
+		}
 		if len(opts.Pushdown) > 0 {
 			// Filtered streams have no Content-Length, so a mid-stream filter
 			// failure would be indistinguishable from success. Announce the

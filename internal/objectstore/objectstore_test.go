@@ -1,8 +1,8 @@
 package objectstore
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"

@@ -13,6 +13,7 @@ import (
 
 	"scoop/internal/metrics"
 	"scoop/internal/pushdown"
+	"scoop/internal/resultcache"
 	"scoop/internal/ring"
 	"scoop/internal/storlet"
 )
@@ -63,6 +64,12 @@ type Proxy struct {
 	quorum  int
 	metrics *metrics.Registry
 
+	// cache, when set, serves repeated identical pushdowns from memory and
+	// collapses concurrent identical ones into a single filter execution.
+	// It is shared across a cluster's proxies (the keys are content-hash
+	// based, so sharing is always safe).
+	cache *resultcache.Cache
+
 	repairMu    sync.Mutex
 	repairs     []RepairRecord
 	asyncRepair func(RepairRecord)
@@ -87,6 +94,9 @@ func (p *Proxy) SetMetrics(r *metrics.Registry) { p.metrics = r }
 // SetWriteQuorum overrides the PUT write quorum; q <= 0 restores the
 // default (majority of the ring's replicas).
 func (p *Proxy) SetWriteQuorum(q int) { p.quorum = q }
+
+// SetResultCache attaches a pushdown result cache; nil disables caching.
+func (p *Proxy) SetResultCache(c *resultcache.Cache) { p.cache = c }
 
 // count bumps a named recovery counter; safe with no registry attached.
 func (p *Proxy) count(name string) { p.metrics.Counter(name).Inc() }
@@ -245,6 +255,14 @@ func (p *Proxy) PutObject(ctx context.Context, account, container, object string
 	p.reg.mu.Lock()
 	cs.objects[object] = stored
 	p.reg.mu.Unlock()
+	// Invalidate strictly AFTER the registry quorum commit point above. A
+	// GET that raced past an earlier invalidation re-keys off the committed
+	// registry ETag here, so it either sees the old committed version
+	// (correct: the PUT had not committed) or the new one — never a mix.
+	// Invalidating at first-replica ack instead would let a concurrent GET
+	// re-fill from a not-yet-written replica and pin the old body under a
+	// key that survives the commit.
+	p.cache.InvalidatePath(info.Path())
 	return stored, nil
 }
 
@@ -278,6 +296,9 @@ func (p *Proxy) replicaNodes(path string) ([]*Node, error) {
 
 // GetObject implements Client. Object-stage tasks run at the object server
 // holding the replica; proxy-stage tasks run here, on the way through.
+// Cacheable pushdown chains are served through the result cache (hit,
+// singleflight collapse, or leader fill); everything else — and every cache
+// refusal — takes the uncached path.
 func (p *Proxy) GetObject(ctx context.Context, account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
 	policy, err := p.containerPolicy(account, container)
 	if err != nil {
@@ -291,6 +312,70 @@ func (p *Proxy) GetObject(ctx context.Context, account, container, object string
 			return nil, ObjectInfo{}, err
 		}
 	}
+	if rc, info, served, err := p.cachedGet(ctx, account, container, object, opts); served {
+		return rc, info, err
+	}
+	return p.getUncached(ctx, account, container, object, opts)
+}
+
+// cachedGet tries to serve a validated GET through the result cache. The
+// bool reports whether the request was handled here (including a leader
+// whose fill failed before its first byte — that error keeps its typed
+// shape for the 503 path). A false return means "serve uncached": the
+// chain is uncacheable, the object is unknown to the registry, or the
+// cache refused (overflowed or poisoned flight → bypass, never a 5xx).
+func (p *Proxy) cachedGet(ctx context.Context, account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, bool, error) {
+	if p.cache == nil || len(opts.Pushdown) == 0 || !p.cache.Cacheable(opts.Pushdown) {
+		return nil, ObjectInfo{}, false, nil
+	}
+	// Key off the registry-committed version. A PUT that has not reached
+	// its quorum commit point is invisible here, which together with the
+	// post-commit invalidation ordering makes a stale fill impossible to
+	// store (the fill guard below catches replicas racing ahead).
+	info, err := p.HeadObject(ctx, account, container, object)
+	if err != nil {
+		return nil, ObjectInfo{}, false, nil
+	}
+	end := opts.RangeEnd
+	if end <= 0 {
+		end = 0
+	}
+	key := resultcache.Key{
+		ETag:  info.ETag,
+		Chain: pushdown.ChainHash(opts.Pushdown),
+		Start: opts.RangeStart,
+		End:   end,
+	}
+	path := "/" + account + "/" + container + "/" + object
+	fill := func(fctx context.Context) (io.ReadCloser, resultcache.FillInfo, error) {
+		rc, finfo, ferr := p.getUncached(fctx, account, container, object, opts)
+		if ferr != nil {
+			return nil, resultcache.FillInfo{}, ferr
+		}
+		return rc, resultcache.FillInfo{ETag: finfo.ETag}, nil
+	}
+	rc, status, err := p.cache.GetOrStart(ctx, key, path, fill)
+	if err != nil {
+		return nil, ObjectInfo{}, true, err
+	}
+	switch status {
+	case resultcache.StatusBypass:
+		return nil, ObjectInfo{}, false, nil
+	case resultcache.StatusMiss:
+		// The fill already runs through getUncached, whose counters account
+		// this request and its bytes once.
+		return rc, info, true, nil
+	default: // hit, collapsed
+		p.statMu.Lock()
+		p.stats.Requests++
+		p.statMu.Unlock()
+		return &cacheCounted{rc: rc, p: p}, info, true, nil
+	}
+}
+
+// getUncached is the uncached GET path: replica fetch with failover,
+// object-stage pushdown at the node, proxy-stage pushdown here.
+func (p *Proxy) getUncached(ctx context.Context, account, container, object string, opts GetOptions) (io.ReadCloser, ObjectInfo, error) {
 	objectStage, proxyStage := splitByStage(opts.Pushdown)
 
 	path := "/" + account + "/" + container + "/" + object
@@ -428,6 +513,10 @@ func (p *Proxy) DeleteObject(ctx context.Context, account, container, object str
 	p.reg.mu.Lock()
 	delete(cs.objects, object)
 	p.reg.mu.Unlock()
+	// Deletion cannot serve stale hits (a future GET finds no registry ETag
+	// to key on), so this is memory reclamation, ordered after the registry
+	// delete for the same reason as the PUT-path invalidation.
+	p.cache.InvalidatePath(path)
 	return lastErr
 }
 
@@ -545,6 +634,42 @@ func (c *proxyOutCounted) Close() error {
 	c.p.stats.BytesToClient += c.n
 	c.p.statMu.Unlock()
 	return err
+}
+
+// cacheCounted accounts cache-served bytes (hit/collapsed) to the client.
+// Miss-status streams are not wrapped: their bytes are accounted once by the
+// fill's own counted readers. Forwards CacheStatus so the handler can emit
+// the X-Scoop-Cache header.
+type cacheCounted struct {
+	rc     io.ReadCloser
+	p      *Proxy
+	n      int64
+	closed bool
+}
+
+func (c *cacheCounted) Read(b []byte) (int, error) {
+	n, err := c.rc.Read(b)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *cacheCounted) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.p.statMu.Lock()
+	c.p.stats.BytesToClient += c.n
+	c.p.statMu.Unlock()
+	return c.rc.Close()
+}
+
+// CacheStatus implements CacheStatuser by delegation.
+func (c *cacheCounted) CacheStatus() string {
+	if s, ok := c.rc.(CacheStatuser); ok {
+		return s.CacheStatus()
+	}
+	return ""
 }
 
 // IsNotFound reports whether err means the object or container is missing.

@@ -159,5 +159,11 @@ func (p *Proxy) repairOne(ctx context.Context, rec RepairRecord) error {
 			return fmt.Errorf("objectstore: repair %s onto %s: %w", rec.Path, n.Name(), err)
 		}
 	}
+	// A repair rewrites replica state; drop any cached results (and cut off
+	// in-flight fills) for the path so the next GET re-keys against the
+	// post-repair replicas. Ordered after the last replica write — the
+	// repair's commit point — for the same reason PUT invalidates after its
+	// registry commit.
+	p.cache.InvalidatePath(rec.Path)
 	return nil
 }

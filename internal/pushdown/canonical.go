@@ -1,0 +1,177 @@
+package pushdown
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+// Canonical chain hashing for the pushdown result cache.
+//
+// Two chains that are semantically identical — same filters in the same
+// order, same projections, same selections up to conjunct order — must hash
+// to the same key, or the cache fragments one logical dashboard query into
+// many entries. Two chains that can produce different bytes must never
+// collide on the canonical form (the hash itself is sha256, so collisions
+// beyond that are cryptographic).
+//
+// What is canonicalized, and why it is sound:
+//
+//   - Predicate (conjunct) order: a task's Predicates must ALL hold, and
+//     conjunction is commutative, so predicates sort into a canonical order.
+//   - IN-list order: OpIn is a disjunction of equalities, so Values sort.
+//   - Stage default: "" and StageObject are the same execution placement.
+//   - Option map order: maps have no order; keys sort.
+//   - Duplicate conjuncts: `a=1 AND a=1` collapses to `a=1`.
+//
+// What is NOT canonicalized: filter order in the chain (stages compose, not
+// commute), projection order (Columns is output order), schema text, option
+// values, and the Numeric flag (it changes comparison semantics).
+
+// Field and record separators for the canonical rendering. They cannot
+// appear unescaped ambiguity because every variable-length component is
+// length-prefixed before the separator.
+const (
+	canonFieldSep = '\x1f'
+	canonTaskSep  = '\x1d'
+)
+
+// ChainHash returns the canonical 128-bit hex key of a filter chain. It is
+// stable across Encode/Decode round trips and across semantically identical
+// re-orderings of commutative parts (see the package comment above). The
+// empty chain hashes to the empty string, which no valid key uses.
+func ChainHash(tasks []*Task) string {
+	if len(tasks) == 0 {
+		return ""
+	}
+	h := sha256.New()
+	var b []byte
+	for _, t := range tasks {
+		b = appendCanonicalTask(b[:0], t)
+		b = append(b, canonTaskSep)
+		h.Write(b)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// CacheableChain reports whether every filter in the chain is proven
+// deterministic by the given oracle (detmanifest.IsProven in production).
+// Only deterministic chains may be cached: a cached body claims to be THE
+// result of (object bytes, chain), which is meaningless if re-running the
+// chain could produce different bytes. A nil oracle proves nothing, so
+// nothing is cacheable — the safe default.
+func CacheableChain(tasks []*Task, proven func(string) bool) bool {
+	if len(tasks) == 0 || proven == nil {
+		return false
+	}
+	for _, t := range tasks {
+		if !proven(t.Filter) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendCanonicalTask renders one task in canonical form. Every component is
+// written as "<name>=<value>" with length-prefixed variable parts, so no
+// crafted column name or literal can make two different tasks render alike.
+func appendCanonicalTask(b []byte, t *Task) []byte {
+	b = appendLenPrefixed(b, t.Filter)
+	stage := t.Stage
+	if stage == "" {
+		stage = StageObject
+	}
+	b = appendLenPrefixed(b, stage)
+	b = appendLenPrefixed(b, strings.TrimSpace(t.Schema))
+	// Projection: order preserved (it is the output column order).
+	b = appendUvarint(b, len(t.Columns))
+	for _, c := range t.Columns {
+		b = appendLenPrefixed(b, c)
+	}
+	// Selection: conjuncts sorted and deduplicated.
+	preds := make([]string, len(t.Predicates))
+	for i, p := range t.Predicates {
+		preds[i] = canonicalPredicate(p)
+	}
+	sort.Strings(preds)
+	preds = dedupSorted(preds)
+	b = appendUvarint(b, len(preds))
+	for _, p := range preds {
+		b = appendLenPrefixed(b, p)
+	}
+	// Options: map order is meaningless; sort the keys.
+	keys := make([]string, 0, len(t.Options))
+	for k := range t.Options {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = appendUvarint(b, len(keys))
+	for _, k := range keys {
+		b = appendLenPrefixed(b, k)
+		b = appendLenPrefixed(b, t.Options[k])
+	}
+	return b
+}
+
+// canonicalPredicate renders one conjunct. IN lists sort (disjunction of
+// equalities is order-insensitive); everything else keeps its literal.
+func canonicalPredicate(p Predicate) string {
+	var sb strings.Builder
+	sb.Write(appendLenPrefixed(nil, p.Column))
+	sb.Write(appendLenPrefixed(nil, string(p.Op)))
+	if p.Numeric {
+		sb.WriteString("n")
+	} else {
+		sb.WriteString("s")
+	}
+	sb.WriteByte(canonFieldSep)
+	if p.Op == OpIn {
+		vals := append([]string(nil), p.Values...)
+		sort.Strings(vals)
+		vals = dedupSorted(vals)
+		for _, v := range vals {
+			sb.Write(appendLenPrefixed(nil, v))
+		}
+	} else {
+		sb.Write(appendLenPrefixed(nil, p.Value))
+	}
+	return sb.String()
+}
+
+// appendLenPrefixed writes len(s) then s then a separator, making the
+// rendering prefix-free.
+func appendLenPrefixed(b []byte, s string) []byte {
+	b = appendUvarint(b, len(s))
+	b = append(b, s...)
+	b = append(b, canonFieldSep)
+	return b
+}
+
+// appendUvarint renders a small non-negative int in decimal. Decimal (not
+// binary varint) keeps the canonical form printable for debugging.
+func appendUvarint(b []byte, n int) []byte {
+	if n == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place.
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
