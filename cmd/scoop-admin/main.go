@@ -10,6 +10,10 @@
 //	scoop-admin -store http://localhost:8080 list gp meters [prefix]
 //	scoop-admin -store http://localhost:8080 deploy gp my-filter.json
 //	scoop-admin -store http://localhost:8080 stats
+//	scoop-admin -store http://localhost:8080 ring
+//	scoop-admin -store http://localhost:8080 add-node [name]
+//	scoop-admin -store http://localhost:8080 remove-node <name>
+//	scoop-admin -store http://localhost:8080 drain-node <name>
 package main
 
 import (
@@ -40,7 +44,7 @@ func run() error {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		return fmt.Errorf("missing command (containers, create-container, delete-container, list, deploy, sync, stats)")
+		return fmt.Errorf("missing command (containers, create-container, delete-container, list, deploy, sync, stats, ring, add-node, remove-node, drain-node)")
 	}
 	client := objectstore.NewHTTPClient(*store)
 	// One-shot CLI: commands run to completion or are killed with the
@@ -116,6 +120,26 @@ func run() error {
 		return nil
 	case "stats":
 		return stats(*store)
+	case "ring":
+		return ring(*store)
+	case "add-node":
+		name := ""
+		if len(rest) == 1 {
+			name = rest[0]
+		} else if len(rest) > 1 {
+			return fmt.Errorf("usage: add-node [name]")
+		}
+		return nodeOp(*store, "add", name)
+	case "remove-node":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: remove-node <name>")
+		}
+		return nodeOp(*store, "remove", rest[0])
+	case "drain-node":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: drain-node <name>")
+		}
+		return nodeOp(*store, "drain", rest[0])
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -147,6 +171,54 @@ func deploy(ctx context.Context, client *objectstore.HTTPClient, account, path s
 	}
 	fmt.Printf("deployed %s as %s/%s (%d bytes)\n", m.Name, objectstore.StorletContainer, name, info.Size)
 	fmt.Println("run `scoop-admin sync <account>` to load it into the running engine")
+	return nil
+}
+
+// ring pretty-prints the /admin/ring membership snapshot.
+func ring(store string) error {
+	resp, err := http.Get(strings.TrimRight(store, "/") + "/admin/ring")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+		if err != nil {
+			body = []byte(fmt.Sprintf("<error body unreadable: %v>", err))
+		}
+		return fmt.Errorf("ring endpoint: http %d: %s", resp.StatusCode, body)
+	}
+	var pretty map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&pretty); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(pretty, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// nodeOp drives a membership change through POST /admin/nodes.
+func nodeOp(store, op, name string) error {
+	u := strings.TrimRight(store, "/") + "/admin/nodes?op=" + op
+	if name != "" {
+		u += "&name=" + name
+	}
+	resp, err := http.Post(u, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return fmt.Errorf("%s-node: read response: %w", op, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s-node: http %d: %s", op, resp.StatusCode, body)
+	}
+	fmt.Print(string(body))
 	return nil
 }
 

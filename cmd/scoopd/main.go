@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"scoop/internal/objectstore"
@@ -40,16 +43,26 @@ func main() {
 	timeout := flag.Duration("filter-timeout", 5*time.Minute, "per-invocation filter timeout")
 	dataDir := flag.String("data-dir", "", "persist objects under this directory (default: in-memory)")
 	cacheBytes := flag.Int64("result-cache-bytes", 256<<20, "pushdown result cache capacity in bytes (0 disables)")
+	repairIvl := flag.Duration("repair-interval", 2*time.Second, "background repair pass interval (0 disables)")
+	migrateIvl := flag.Duration("migrate-interval", 2*time.Second, "background migration pass interval (0 disables)")
+	healthIvl := flag.Duration("health-interval", 5*time.Second, "node health probe interval (0 disables)")
+	healthFails := flag.Int("health-fail-threshold", 3, "consecutive probe failures before auto-eject")
+	seed := flag.Int64("seed", 1, "seed for background-loop jitter (determinism knob)")
 	flag.Parse()
 
 	cluster, err := objectstore.NewCluster(objectstore.ClusterConfig{
-		Proxies:          *proxies,
-		ObjectNodes:      *nodes,
-		DisksPerNode:     *disks,
-		Replicas:         *replicas,
-		Limits:           storlet.Limits{Timeout: *timeout},
-		DataDir:          *dataDir,
-		ResultCacheBytes: *cacheBytes,
+		Proxies:             *proxies,
+		ObjectNodes:         *nodes,
+		DisksPerNode:        *disks,
+		Replicas:            *replicas,
+		Limits:              storlet.Limits{Timeout: *timeout},
+		DataDir:             *dataDir,
+		ResultCacheBytes:    *cacheBytes,
+		RepairInterval:      *repairIvl,
+		MigrateInterval:     *migrateIvl,
+		HealthInterval:      *healthIvl,
+		HealthFailThreshold: *healthFails,
+		Seed:                *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scoopd:", err)
@@ -64,11 +77,29 @@ func main() {
 	log.Printf("scoopd: %d proxies, %d object nodes (%d disks each), %d replicas",
 		*proxies, *nodes, *disks, *replicas)
 	log.Printf("scoopd: filters deployed: %v", cluster.Engine().Names())
+	handler := objectstore.NewHandler(cluster.Client())
+	handler.SetRingInfo(func() (uint64, bool) {
+		return cluster.Ring().Epoch(), cluster.Ring().Migrating()
+	})
 	mux := http.NewServeMux()
-	mux.Handle("/", objectstore.NewHandler(cluster.Client()))
+	mux.Handle("/", handler)
 	mux.Handle("/admin/", objectstore.NewAdminHandler(cluster))
-	log.Printf("scoopd: listening on %s (admin at /admin/stats, /admin/deploy)", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	log.Printf("scoopd: listening on %s (admin at /admin/stats, /admin/deploy, /admin/ring, /admin/nodes)", *addr)
+
+	// Graceful shutdown: stop accepting, then stop the cluster's background
+	// repair/migration/health loops before exiting.
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	cluster.Close()
+	log.Printf("scoopd: shut down")
 }

@@ -98,7 +98,30 @@ const (
 	// OpInvoke sequences storlet filter invocations (FilterFault); the
 	// rule path is the filter name.
 	OpInvoke Op = "INVOKE"
+	// OpMigrate sequences background partition-migration object copies
+	// (MigrationHook); the rule path is the object path being moved.
+	OpMigrate Op = "MIGRATE"
 )
+
+// MigrationHook adapts a schedule into the objectstore migrator's hook
+// seam: each object copy consults the schedule before running, and an
+// injected fault aborts the migration pass — the chaos analog of killing
+// the migrator process mid-copy. The partition's record stays queued and
+// the next pass resumes idempotently, which is exactly the recovery
+// property the chaos suite proves. Latency faults delay instead of abort.
+func MigrationHook(s *Schedule) func(path string) error {
+	return func(path string) error {
+		f := s.Next(OpMigrate, path)
+		if f == nil {
+			return nil
+		}
+		if f.Kind == Latency {
+			time.Sleep(f.Delay)
+			return nil
+		}
+		return fmt.Errorf("%w: migrator killed at %s (%s)", ErrInjected, path, f.Kind)
+	}
+}
 
 // Fault is one injectable failure.
 type Fault struct {

@@ -49,6 +49,7 @@ func (c *Counter) Float() float64 { return float64(c.Load()) }
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty counter registry.
@@ -71,16 +72,19 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns the current value of every counter.
+// Snapshot returns the current value of every counter and gauge.
 func (r *Registry) Snapshot() map[string]int64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.counters))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
 	for name, c := range r.counters {
 		out[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package objectstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -13,6 +14,10 @@ import (
 //	GET  /admin/stats                 node/proxy/LB/filter counters (JSON)
 //	POST /admin/deploy?account=A      load filter manifests from A's
 //	                                  .storlets container into the engine
+//	GET  /admin/ring                  epoch, balance, devices, migration
+//	                                  and repair queue depths (JSON)
+//	POST /admin/nodes?op=add|remove|drain[&name=N]
+//	                                  live membership changes
 //
 // scoopd mounts it next to the data-path Handler.
 type AdminHandler struct {
@@ -31,6 +36,10 @@ func (h *AdminHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveStats(w, r)
 	case "/admin/deploy":
 		h.serveDeploy(w, r)
+	case "/admin/ring":
+		h.serveRing(w, r)
+	case "/admin/nodes":
+		h.serveNodes(w, r)
 	default:
 		http.Error(w, "unknown admin endpoint", http.StatusNotFound)
 	}
@@ -76,6 +85,107 @@ func (h *AdminHandler) serveStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(h.Snapshot())
+}
+
+// RingSnapshot is the document served at /admin/ring: the membership and
+// migration state an operator watches through a rebalance.
+type RingSnapshot struct {
+	Epoch       uint64         `json:"epoch"`
+	Migrating   bool           `json:"migrating"`
+	Dirty       bool           `json:"dirty"`
+	Balance     float64        `json:"balance"`
+	Partitions  int            `json:"partitions"`
+	Replicas    int            `json:"replicas"`
+	Nodes       []string       `json:"nodes"`
+	Draining    []string       `json:"draining,omitempty"`
+	DeviceParts map[string]int `json:"device_partitions"`
+	// MigratePending/Moved/Failed and RepairPending mirror the
+	// migrate.partitions.* and proxy.repair.pending metrics.
+	MigratePending int64 `json:"migrate_pending"`
+	MigrateMoved   int64 `json:"migrate_moved"`
+	MigrateFailed  int64 `json:"migrate_failed"`
+	RepairPending  int64 `json:"repair_pending"`
+}
+
+// RingState collects the ring/membership snapshot.
+func (h *AdminHandler) RingState() RingSnapshot {
+	c := h.cluster
+	rg := c.Ring()
+	m := c.Metrics()
+	return RingSnapshot{
+		Epoch:          rg.Epoch(),
+		Migrating:      rg.Migrating(),
+		Dirty:          rg.Dirty(),
+		Balance:        rg.Balance(),
+		Partitions:     rg.Partitions(),
+		Replicas:       rg.Replicas(),
+		Nodes:          c.Members().Names(),
+		Draining:       c.Draining(),
+		DeviceParts:    rg.Stats(),
+		MigratePending: m.Gauge("migrate.partitions.pending").Load(),
+		MigrateMoved:   m.Counter("migrate.partitions.moved").Load(),
+		MigrateFailed:  m.Counter("migrate.partitions.failed").Load(),
+		RepairPending:  m.Gauge("proxy.repair.pending").Load(),
+	}
+}
+
+func (h *AdminHandler) serveRing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h.RingState())
+}
+
+func (h *AdminHandler) serveNodes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	op := r.URL.Query().Get("op")
+	name := r.URL.Query().Get("name")
+	var err error
+	switch op {
+	case "add":
+		var added string
+		added, err = h.cluster.AddNode(r.Context(), name)
+		if err == nil {
+			fmt.Fprintf(w, "added %s (epoch %d, %d partitions queued for migration)\n",
+				added, h.cluster.Ring().Epoch(), len(h.cluster.MigrationRecords()))
+			return
+		}
+	case "remove":
+		if name == "" {
+			http.Error(w, "name query parameter required", http.StatusBadRequest)
+			return
+		}
+		err = h.cluster.RemoveNode(r.Context(), name)
+		if err == nil {
+			fmt.Fprintf(w, "removed %s (epoch %d, %d partitions queued for re-replication)\n",
+				name, h.cluster.Ring().Epoch(), len(h.cluster.MigrationRecords()))
+			return
+		}
+	case "drain":
+		if name == "" {
+			http.Error(w, "name query parameter required", http.StatusBadRequest)
+			return
+		}
+		err = h.cluster.DrainNode(r.Context(), name)
+		if err == nil {
+			fmt.Fprintf(w, "draining %s (epoch %d, %d partitions queued; node detaches on commit)\n",
+				name, h.cluster.Ring().Epoch(), len(h.cluster.MigrationRecords()))
+			return
+		}
+	default:
+		http.Error(w, "op must be add, remove or drain", http.StatusBadRequest)
+		return
+	}
+	status := http.StatusBadRequest
+	if errors.Is(err, ErrMigrationInProgress) {
+		status = http.StatusConflict
+	}
+	http.Error(w, err.Error(), status)
 }
 
 func (h *AdminHandler) serveDeploy(w http.ResponseWriter, r *http.Request) {

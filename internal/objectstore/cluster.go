@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"scoop/internal/detmanifest"
 	"scoop/internal/metrics"
@@ -39,6 +42,25 @@ type ClusterConfig struct {
 	// ResultCacheEntryBytes bounds a single cached body; 0 defaults to
 	// ResultCacheBytes/8.
 	ResultCacheEntryBytes int64
+
+	// RepairInterval, when > 0, starts a background loop draining the
+	// proxies' repair queues at that pace (with seeded jitter). 0 leaves
+	// repair manual (RunRepairs), which the deterministic chaos suite
+	// depends on.
+	RepairInterval time.Duration
+	// MigrateInterval, when > 0, starts a background loop draining the
+	// partition-migration queue at that pace (with seeded jitter).
+	MigrateInterval time.Duration
+	// HealthInterval, when > 0, starts a background probe loop over the
+	// membership; HealthFailThreshold consecutive probe failures eject a
+	// node (re-replication via migration records).
+	HealthInterval time.Duration
+	// HealthFailThreshold is the consecutive-failure count that marks a
+	// node dead; 0 defaults to 3.
+	HealthFailThreshold int
+	// Seed feeds the background loops' jitter so paced runs are replayable;
+	// 0 uses a fixed default seed.
+	Seed int64
 }
 
 // DefaultClusterConfig returns a small cluster with the testbed's shape.
@@ -57,13 +79,27 @@ func DefaultClusterConfig() ClusterConfig {
 type Cluster struct {
 	cfg     ClusterConfig
 	ring    *ring.Ring
-	nodes   []*Node
-	nodeMap map[string]*Node
+	members *NodeSet
 	proxies []*Proxy
 	engine  *storlet.Engine
 	reg     *Registry
 	metrics *metrics.Registry
 	cache   *resultcache.Cache
+
+	// memberMu serializes membership transitions (add/remove/drain, epoch
+	// commit) and guards the migration queue and health bookkeeping below.
+	// It is ordered before the ring's internal lock: membership operations
+	// take memberMu then call ring methods, never the reverse.
+	memberMu      sync.Mutex
+	migrations    []MigrationRecord
+	draining      map[string]bool
+	healthFails   map[string]int
+	nodeSeq       int
+	migrationHook func(path string) error
+
+	loopCancel context.CancelFunc
+	loopWG     sync.WaitGroup
+	closed     atomic.Bool
 
 	next    atomic.Uint64
 	lbBytes atomic.Int64
@@ -90,27 +126,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	engine := storlet.NewEngine(cfg.Limits)
 	c := &Cluster{
 		cfg: cfg, ring: rg, engine: engine,
-		nodeMap: make(map[string]*Node), reg: NewRegistry(),
-		metrics: metrics.NewRegistry(),
+		members: NewNodeSet(), reg: NewRegistry(),
+		metrics:     metrics.NewRegistry(),
+		draining:    make(map[string]bool),
+		healthFails: make(map[string]int),
 	}
 	for i := 0; i < cfg.ObjectNodes; i++ {
 		name := fmt.Sprintf("object-%02d", i)
-		var store Store = NewMemStore()
-		if cfg.DataDir != "" {
-			// Cluster construction is a startup step, not a request; the
-			// index rebuild runs unbounded.
-			ds, err := NewDiskStore(context.Background(), filepath.Join(cfg.DataDir, name))
-			if err != nil {
-				return nil, err
-			}
-			store = ds
-		}
-		if cfg.StoreWrap != nil {
-			store = cfg.StoreWrap(name, store)
+		store, err := c.newStore(name)
+		if err != nil {
+			return nil, err
 		}
 		node := NewNodeWithStore(name, store, engine)
-		c.nodes = append(c.nodes, node)
-		c.nodeMap[name] = node
+		if err := c.members.Add(node); err != nil {
+			return nil, err
+		}
 		for d := 0; d < cfg.DisksPerNode; d++ {
 			err := rg.AddDevice(ring.Device{
 				ID:   fmt.Sprintf("%s-disk%d", name, d),
@@ -122,9 +152,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 		}
 	}
+	c.nodeSeq = cfg.ObjectNodes
 	if err := rg.Rebalance(); err != nil {
 		return nil, err
 	}
+	c.metrics.Gauge("ring.epoch").Set(int64(rg.Epoch()))
 	if cfg.ResultCacheBytes > 0 {
 		// One cache shared by all proxies: keys are content-hash based, so
 		// cross-proxy sharing is always safe, and a herd spread across
@@ -137,13 +169,98 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		})
 	}
 	for i := 0; i < cfg.Proxies; i++ {
-		p := NewProxy(fmt.Sprintf("proxy-%02d", i), rg, c.nodeMap, engine, c.reg)
+		p := NewProxy(fmt.Sprintf("proxy-%02d", i), rg, c.members, engine, c.reg)
 		p.SetMetrics(c.metrics)
 		p.SetWriteQuorum(cfg.WriteQuorum)
 		p.SetResultCache(c.cache)
 		c.proxies = append(c.proxies, p)
 	}
+	c.startLoops()
 	return c, nil
+}
+
+// newStore builds one node's storage engine: memory by default, disk under
+// DataDir/<name> when persistence is configured, then the StoreWrap seam.
+func (c *Cluster) newStore(name string) (Store, error) {
+	var store Store = NewMemStore()
+	if c.cfg.DataDir != "" {
+		// Cluster construction and node join are management steps, not
+		// requests; the index rebuild runs unbounded.
+		ds, err := NewDiskStore(context.Background(), filepath.Join(c.cfg.DataDir, name))
+		if err != nil {
+			return nil, err
+		}
+		store = ds
+	}
+	if c.cfg.StoreWrap != nil {
+		store = c.cfg.StoreWrap(name, store)
+	}
+	return store, nil
+}
+
+// startLoops launches the configured background maintenance loops (repair,
+// migration, health probing). Each loop paces itself with seeded jitter so
+// two runs with the same seed fire in the same order relative to their own
+// timers, and exits promptly on Close.
+func (c *Cluster) startLoops() {
+	if c.cfg.RepairInterval <= 0 && c.cfg.MigrateInterval <= 0 && c.cfg.HealthInterval <= 0 {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.loopCancel = cancel
+	seed := c.cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if d := c.cfg.RepairInterval; d > 0 {
+		c.loopWG.Add(1)
+		go c.maintenanceLoop(ctx, d, seed, func(ctx context.Context) {
+			_, _ = c.RunRepairs(ctx)
+		})
+	}
+	if d := c.cfg.MigrateInterval; d > 0 {
+		c.loopWG.Add(1)
+		go c.maintenanceLoop(ctx, d, seed+1, func(ctx context.Context) {
+			_, _ = c.RunMigrations(ctx)
+		})
+	}
+	if d := c.cfg.HealthInterval; d > 0 {
+		c.loopWG.Add(1)
+		go c.maintenanceLoop(ctx, d, seed+2, func(ctx context.Context) {
+			_, _ = c.RunHealthCheck(ctx)
+		})
+	}
+}
+
+// maintenanceLoop runs fn at interval plus up to 25% seeded jitter until
+// the context is cancelled.
+func (c *Cluster) maintenanceLoop(ctx context.Context, interval time.Duration, seed int64, fn func(context.Context)) {
+	defer c.loopWG.Done()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		d := interval + time.Duration(rng.Int63n(int64(interval)/4+1))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		fn(ctx)
+	}
+}
+
+// Close stops the background maintenance loops and waits for them to exit.
+// Idempotent; a cluster with no loops configured closes as a no-op.
+func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.loopCancel != nil {
+		c.loopCancel()
+	}
+	c.loopWG.Wait()
+	return nil
 }
 
 // ResultCache returns the shared pushdown result cache, or nil when disabled.
@@ -184,8 +301,11 @@ func (c *Cluster) Engine() *storlet.Engine { return c.engine }
 // Ring returns the placement ring.
 func (c *Cluster) Ring() *ring.Ring { return c.ring }
 
-// Nodes returns the object nodes.
-func (c *Cluster) Nodes() []*Node { return c.nodes }
+// Nodes returns the current member object nodes, in join order.
+func (c *Cluster) Nodes() []*Node { return c.members.All() }
+
+// Members returns the live node set shared with the proxies.
+func (c *Cluster) Members() *NodeSet { return c.members }
 
 // Proxies returns the proxy servers.
 func (c *Cluster) Proxies() []*Proxy { return c.proxies }
@@ -201,7 +321,7 @@ func (c *Cluster) ResetStats() {
 	for _, p := range c.proxies {
 		p.ResetStats()
 	}
-	for _, n := range c.nodes {
+	for _, n := range c.members.All() {
 		n.ResetStats()
 	}
 }
@@ -209,7 +329,7 @@ func (c *Cluster) ResetStats() {
 // NodeStatsTotal aggregates all object-node counters.
 func (c *Cluster) NodeStatsTotal() NodeStats {
 	var total NodeStats
-	for _, n := range c.nodes {
+	for _, n := range c.members.All() {
 		s := n.Stats()
 		total.BytesRead += s.BytesRead
 		total.BytesSent += s.BytesSent

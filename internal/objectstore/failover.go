@@ -7,6 +7,10 @@ import (
 	"io"
 )
 
+// errStaleReplica marks a replica skipped because it holds a version other
+// than the registry-committed ETag the read is pinned to.
+var errStaleReplica = errors.New("objectstore: stale replica")
+
 // peekFirst forces a replica's stream to produce its first byte (or a clean
 // EOF) before the proxy commits to it, converting open-then-fail streams —
 // a node that accepts the request and dies before sending anything — into
@@ -73,6 +77,7 @@ type replicaStream struct {
 	nodes []*Node
 	idx   int // replica currently being read
 	path  string
+	etag  string // version guard: a resumed replica must serve this version
 	rc    io.ReadCloser
 	off   int64 // next absolute object offset
 	end   int64 // absolute end offset (exclusive)
@@ -116,8 +121,13 @@ func (s *replicaStream) failover(cause error) error {
 		if err := s.ctx.Err(); err != nil {
 			return err
 		}
-		rc, _, err := s.nodes[s.idx].Get(s.ctx, s.path, s.off, s.end, nil)
+		// The resume is version-pinned: a replica holding a different
+		// version would splice foreign bytes into the delivered prefix.
+		rc, _, err := s.nodes[s.idx].GetVersion(s.ctx, s.path, s.off, s.end, nil, s.etag)
 		if err != nil {
+			if errors.Is(err, errStaleReplica) {
+				s.p.count("proxy.get.stale_skips")
+			}
 			continue
 		}
 		pk, perr := peekFirst(rc)

@@ -36,6 +36,13 @@ const (
 	// HeaderCacheStatus reports how the result cache served a pushdown GET:
 	// hit | miss | collapsed. Absent when the cache was bypassed or disabled.
 	HeaderCacheStatus = "X-Scoop-Cache"
+	// HeaderRingEpoch carries the store's serving ring epoch on every
+	// response, so connectors observe membership changes passively (no
+	// polling endpoint needed to notice a rebalance happened mid-query).
+	HeaderRingEpoch = "X-Scoop-Ring-Epoch"
+	// HeaderRingMigrating is "true" while a migration window is open (the
+	// store is serving dual-epoch reads).
+	HeaderRingMigrating = "X-Scoop-Ring-Migrating"
 )
 
 // CacheStatuser is implemented by streams that know how the result cache
@@ -51,13 +58,28 @@ type CacheStatuser interface {
 // combined LB + proxy tier of a deployment.
 type Handler struct {
 	client Client
+	// ringInfo, when set, reports (epoch, migrating) for the response
+	// headers; see SetRingInfo.
+	ringInfo func() (uint64, bool)
 }
 
 // NewHandler wraps a Client into an http.Handler.
 func NewHandler(client Client) *Handler { return &Handler{client: client} }
 
+// SetRingInfo attaches the placement-epoch source (typically
+// cluster.Ring().Epoch / Migrating); every response then carries
+// HeaderRingEpoch and, during a migration window, HeaderRingMigrating.
+func (h *Handler) SetRingInfo(fn func() (epoch uint64, migrating bool)) { h.ringInfo = fn }
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.ringInfo != nil {
+		epoch, migrating := h.ringInfo()
+		w.Header().Set(HeaderRingEpoch, strconv.FormatUint(epoch, 10))
+		if migrating {
+			w.Header().Set(HeaderRingMigrating, "true")
+		}
+	}
 	parts := splitPath(r.URL.Path)
 	if len(parts) < 2 || parts[0] != "v1" {
 		http.Error(w, "expected /v1/{account}[/{container}[/{object}]]", http.StatusNotFound)

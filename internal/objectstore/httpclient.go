@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"scoop/internal/metrics"
 	"scoop/internal/pushdown"
@@ -40,6 +42,37 @@ type HTTPClient struct {
 
 	jitOnce sync.Once
 	jitter  *jitter
+
+	// ringEpoch tracks the store's serving epoch as observed on response
+	// headers (HeaderRingEpoch); ringMigrating mirrors HeaderRingMigrating.
+	ringEpoch     atomic.Uint64
+	ringMigrating atomic.Bool
+}
+
+// RingEpoch returns the last ring epoch observed on a store response and
+// whether the store reported an open migration window there. Zero means no
+// epoch header has been seen yet (old server, or no requests).
+func (c *HTTPClient) RingEpoch() (epoch uint64, migrating bool) {
+	return c.ringEpoch.Load(), c.ringMigrating.Load()
+}
+
+// observeRing decodes the ring headers off a response. Epoch changes are
+// counted ("client.ring.epoch_changes") — a connector watching that counter
+// knows its placement view churned mid-workload.
+func (c *HTTPClient) observeRing(resp *http.Response) {
+	v := resp.Header.Get(HeaderRingEpoch)
+	if v == "" {
+		return
+	}
+	epoch, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return
+	}
+	prev := c.ringEpoch.Swap(epoch)
+	if prev != 0 && prev != epoch {
+		c.Metrics.Counter("client.ring.epoch_changes").Inc()
+	}
+	c.ringMigrating.Store(resp.Header.Get(HeaderRingMigrating) == "true")
 }
 
 // NewHTTPClient returns a client for the given endpoint.

@@ -2,6 +2,7 @@ package objectstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -102,6 +103,14 @@ func (n *Node) Put(ctx context.Context, info ObjectInfo, r io.Reader) (ObjectInf
 // object-stage tasks of the pushdown chain. It returns the (possibly
 // filtered) stream; info describes the stored object, not the stream.
 func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*pushdown.Task) (io.ReadCloser, ObjectInfo, error) {
+	return n.GetVersion(ctx, path, start, end, tasks, "")
+}
+
+// GetVersion is Get pinned to a version: when wantETag is non-empty and the
+// stored object is any other version, the read fails with errStaleReplica
+// BEFORE any filter runs — a stale replica costs the proxy one metadata
+// miss, not a storlet invocation.
+func (n *Node) GetVersion(ctx context.Context, path string, start, end int64, tasks []*pushdown.Task, wantETag string) (io.ReadCloser, ObjectInfo, error) {
 	if n.down.Load() {
 		n.countError()
 		return nil, ObjectInfo{}, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
@@ -118,6 +127,11 @@ func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*
 	if err != nil {
 		n.countError()
 		return nil, ObjectInfo{}, err
+	}
+	if wantETag != "" && info.ETag != wantETag {
+		rc.Close()
+		return nil, ObjectInfo{}, fmt.Errorf("node %s: %s holds etag %s, want %s: %w",
+			n.name, path, info.ETag, wantETag, errStaleReplica)
 	}
 	if end <= 0 || end > info.Size {
 		end = info.Size
@@ -148,6 +162,22 @@ func (n *Node) Get(ctx context.Context, path string, start, end int64, tasks []*
 	// The chain never closes its input; tie the store reader's lifetime to
 	// the filtered stream so disk-backed stores don't leak descriptors.
 	return &countedCloser{rc: out, node: n, filterStart: filterStart, filtered: true, also: rc}, info, nil
+}
+
+// Ping probes the node's storage engine for liveness — the health check's
+// view of the node. It exercises a real store operation (a metadata lookup
+// on a reserved probe path) so injected store faults (blackouts) fail the
+// probe exactly like they fail data requests; the probe object never
+// exists, and "not found" from a responsive store is health.
+func (n *Node) Ping(ctx context.Context) error {
+	if n.down.Load() {
+		return fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	_, err := n.store.Head(ctx, "/.probe/ping")
+	if err == nil || errors.Is(err, ErrNotFound) {
+		return nil
+	}
+	return fmt.Errorf("objectstore: probe %s: %w", n.name, err)
 }
 
 // Head returns a replica's metadata.

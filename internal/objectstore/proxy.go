@@ -55,7 +55,7 @@ type ProxyStats struct {
 type Proxy struct {
 	name   string
 	ring   *ring.Ring
-	nodes  map[string]*Node
+	nodes  *NodeSet
 	engine *storlet.Engine
 	reg    *Registry
 
@@ -78,9 +78,10 @@ type Proxy struct {
 	stats  ProxyStats
 }
 
-// NewProxy creates a proxy over the given ring, node set and shared
-// metadata registry.
-func NewProxy(name string, rg *ring.Ring, nodes map[string]*Node, engine *storlet.Engine, reg *Registry) *Proxy {
+// NewProxy creates a proxy over the given ring, live node set and shared
+// metadata registry. The NodeSet is shared with the cluster: membership
+// changes made there are visible to this proxy's routing immediately.
+func NewProxy(name string, rg *ring.Ring, nodes *NodeSet, engine *storlet.Engine, reg *Registry) *Proxy {
 	return &Proxy{name: name, ring: rg, nodes: nodes, engine: engine, reg: reg}
 }
 
@@ -277,7 +278,10 @@ func cloneMeta(m map[string]string) map[string]string {
 	return out
 }
 
-// replicaNodes maps the ring's node names to live Node handles.
+// replicaNodes maps the serving epoch's node names to live Node handles —
+// the WRITE placement. Writes always target the new epoch (background
+// migration then only ever copies toward where writes already land), so an
+// unresolvable name here is a wiring bug, not a transient.
 func (p *Proxy) replicaNodes(path string) ([]*Node, error) {
 	names, err := p.ring.NodesFor(path)
 	if err != nil {
@@ -285,11 +289,34 @@ func (p *Proxy) replicaNodes(path string) ([]*Node, error) {
 	}
 	out := make([]*Node, 0, len(names))
 	for _, n := range names {
-		node, ok := p.nodes[n]
+		node, ok := p.nodes.Get(n)
 		if !ok {
 			return nil, fmt.Errorf("objectstore: ring references unknown node %q", n)
 		}
 		out = append(out, node)
+	}
+	return out, nil
+}
+
+// readNodes resolves the READ placement: the serving epoch's nodes first,
+// then old-epoch extras while a migration window is open, so a GET during
+// a partition move finds the object wherever it currently lives. Names
+// that no longer resolve (an ejected node still referenced by the old
+// epoch) are skipped — the dead node cannot serve bytes anyway and the
+// failover walk should not waste an attempt on it.
+func (p *Proxy) readNodes(path string) ([]*Node, error) {
+	names, err := p.ring.NodesForRead(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Node, 0, len(names))
+	for _, n := range names {
+		if node, ok := p.nodes.Get(n); ok {
+			out = append(out, node)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("objectstore: no resolvable replica node for %s: %w", path, ErrNotFound)
 	}
 	return out, nil
 }
@@ -379,11 +406,24 @@ func (p *Proxy) getUncached(ctx context.Context, account, container, object stri
 	objectStage, proxyStage := splitByStage(opts.Pushdown)
 
 	path := "/" + account + "/" + container + "/" + object
-	nodes, err := p.replicaNodes(path)
+	nodes, err := p.readNodes(path)
 	if err != nil {
 		return nil, ObjectInfo{}, err
 	}
-	rc, info, idx, err := p.fetchReplica(ctx, nodes, path, opts.RangeStart, opts.RangeEnd, objectStage)
+	// Reads are version-pinned to the registry-committed ETag: a replica
+	// that missed the latest PUT (down at write time, or an old-epoch copy
+	// not yet migrated) is skipped, not served. If NO replica carries the
+	// committed version (a write still settling across replicas), the walk
+	// falls back unpinned — availability wins over freshness, matching the
+	// store's quorum semantics.
+	wantETag := ""
+	if committed, ok := p.reg.InfoByPath(path); ok {
+		wantETag = committed.ETag
+	}
+	rc, info, idx, err := p.fetchReplica(ctx, nodes, path, opts.RangeStart, opts.RangeEnd, objectStage, wantETag)
+	if err != nil && wantETag != "" && errors.Is(err, errStaleReplica) {
+		rc, info, idx, err = p.fetchReplica(ctx, nodes, path, opts.RangeStart, opts.RangeEnd, objectStage, "")
+	}
 	if err != nil {
 		return nil, ObjectInfo{}, err
 	}
@@ -400,7 +440,7 @@ func (p *Proxy) getUncached(ctx context.Context, account, container, object stri
 		if opts.RangeStart < end {
 			rc = &replicaStream{
 				ctx: ctx, p: p, nodes: nodes, idx: idx,
-				path: path, rc: rc, off: opts.RangeStart, end: end,
+				path: path, etag: info.ETag, rc: rc, off: opts.RangeStart, end: end,
 			}
 		}
 	}
@@ -434,15 +474,23 @@ func (p *Proxy) getUncached(ctx context.Context, account, container, object stri
 // fetchReplica opens the object on the first replica that can deliver its
 // first byte, trying the remaining ring replicas on any failure — including
 // streams that open successfully and die before producing data (peekFirst).
-// It returns the stream, the object metadata, and the index of the serving
-// replica so mid-stream failover can continue down the ring.
-func (p *Proxy) fetchReplica(ctx context.Context, nodes []*Node, path string, start, end int64, tasks []*pushdown.Task) (io.ReadCloser, ObjectInfo, int, error) {
+// When wantETag is non-empty, replicas holding any other version are
+// skipped (a quorum PUT may have missed a replica; a migration may not
+// have reached one yet). It returns the stream, the object metadata, and
+// the index of the serving replica so mid-stream failover can continue
+// down the ring.
+func (p *Proxy) fetchReplica(ctx context.Context, nodes []*Node, path string, start, end int64, tasks []*pushdown.Task, wantETag string) (io.ReadCloser, ObjectInfo, int, error) {
 	var lastErr error = ErrNotFound
 	for i, node := range nodes {
 		if err := ctx.Err(); err != nil {
 			return nil, ObjectInfo{}, 0, err
 		}
-		rc, info, err := node.Get(ctx, path, start, end, tasks)
+		rc, info, err := node.GetVersion(ctx, path, start, end, tasks, wantETag)
+		if errors.Is(err, errStaleReplica) {
+			p.count("proxy.get.stale_skips")
+			lastErr = err
+			continue
+		}
 		if err != nil {
 			// A pushdown refusal comes from the SHARED storlet engine, not
 			// this replica's disk — another replica would refuse identically.
@@ -499,8 +547,12 @@ func (p *Proxy) DeleteObject(ctx context.Context, account, container, object str
 	if err != nil {
 		return err
 	}
+	// Deletes cover the READ placement: during a migration window the only
+	// copy may still sit on the old epoch's nodes, and a delete that missed
+	// them would resurrect the object when reads fall through to old
+	// placements.
 	path := "/" + account + "/" + container + "/" + object
-	nodes, err := p.replicaNodes(path)
+	nodes, err := p.readNodes(path)
 	if err != nil {
 		return err
 	}

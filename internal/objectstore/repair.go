@@ -63,6 +63,7 @@ func (p *Proxy) recordRepair(rec RepairRecord) {
 	hook := p.asyncRepair
 	p.repairMu.Unlock()
 	p.count("proxy.repair.recorded")
+	p.metrics.Gauge("proxy.repair.pending").Add(1)
 	if hook != nil {
 		hook(rec)
 	}
@@ -110,6 +111,7 @@ func (p *Proxy) RunRepairs(ctx context.Context) (int, error) {
 		}
 		repaired++
 		p.count("proxy.repair.completed")
+		p.metrics.Gauge("proxy.repair.pending").Add(-1)
 	}
 	if len(remaining) > 0 {
 		p.repairMu.Lock()
@@ -120,8 +122,13 @@ func (p *Proxy) RunRepairs(ctx context.Context) (int, error) {
 }
 
 // repairOne copies the object from a healthy replica to every missing node.
+// Sources come from the READ placement (during a migration window a healthy
+// copy may only exist on the old epoch yet); targets are the recorded
+// missing names, skipping any that have since left the membership — a node
+// ejected after the record was filed no longer needs the copy, its share is
+// re-replicated by the membership change's own migration records.
 func (p *Proxy) repairOne(ctx context.Context, rec RepairRecord) error {
-	nodes, err := p.replicaNodes(rec.Path)
+	nodes, err := p.readNodes(rec.Path)
 	if err != nil {
 		return err
 	}
@@ -151,8 +158,9 @@ func (p *Proxy) repairOne(ctx context.Context, rec RepairRecord) error {
 	if !found {
 		return fmt.Errorf("objectstore: repair %s: no healthy replica readable", rec.Path)
 	}
-	for _, n := range nodes {
-		if !missing[n.Name()] {
+	for _, name := range rec.Missing {
+		n, ok := p.nodes.Get(name)
+		if !ok {
 			continue
 		}
 		if _, err := n.Put(ctx, info, bytes.NewReader(data)); err != nil {

@@ -172,6 +172,9 @@ func (c *HTTPClient) doRetry(ctx context.Context, method string, replayable bool
 			drainClose(resp.Body)
 			continue
 		}
+		// Every settled response passes through here — the one place the
+		// client can watch the store's placement epoch drift.
+		c.observeRing(resp)
 		return resp, nil
 	}
 	return nil, lastErr

@@ -1,0 +1,377 @@
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// addDev registers one device on node n, disk d (zone n%3).
+func addDev(t *testing.T, r *Ring, n, d int) {
+	t.Helper()
+	err := r.AddDevice(Device{
+		ID:   fmt.Sprintf("n%d-d%d", n, d),
+		Node: fmt.Sprintf("node%d", n),
+		Zone: fmt.Sprintf("z%d", n%3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochAndDirty(t *testing.T) {
+	r, _ := New(6, 3)
+	for n := 0; n < 4; n++ {
+		addDev(t, r, n, 0)
+	}
+	if r.Epoch() != 0 {
+		t.Fatalf("epoch before first rebalance = %d", r.Epoch())
+	}
+	if r.Dirty() {
+		t.Fatal("never-balanced ring should not be dirty")
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("epoch after first rebalance = %d", r.Epoch())
+	}
+	if r.Migrating() {
+		t.Fatal("first rebalance should not open a migration window")
+	}
+	addDev(t, r, 4, 0)
+	if !r.Dirty() {
+		t.Fatal("AddDevice after rebalance must mark the ring dirty")
+	}
+	// A dirty ring still serves the old epoch.
+	if _, err := r.Get("/a/c/o"); err != nil {
+		t.Fatalf("dirty ring Get: %v", err)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Dirty() {
+		t.Fatal("Rebalance must clear dirty")
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", r.Epoch())
+	}
+}
+
+func TestErrNeedsRebalance(t *testing.T) {
+	r, _ := New(6, 3)
+	addDev(t, r, 0, 0)
+	if _, err := r.Get("/a/c/o"); !errors.Is(err, ErrNeedsRebalance) {
+		t.Errorf("Get err = %v, want ErrNeedsRebalance", err)
+	}
+	if _, err := r.NodesFor("/a/c/o"); !errors.Is(err, ErrNeedsRebalance) {
+		t.Errorf("NodesFor err = %v, want ErrNeedsRebalance", err)
+	}
+	if _, err := r.NodesForRead("/a/c/o"); !errors.Is(err, ErrNeedsRebalance) {
+		t.Errorf("NodesForRead err = %v, want ErrNeedsRebalance", err)
+	}
+}
+
+func TestRemoveDevice(t *testing.T) {
+	r, _ := New(6, 3)
+	for n := 0; n < 5; n++ {
+		addDev(t, r, n, 0)
+	}
+	if err := r.RemoveDevice("nope"); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("remove unknown: %v", err)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveDevice("n4-d0"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Dirty() {
+		t.Fatal("RemoveDevice must mark the ring dirty")
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	// No assignment may reference the removed device afterwards, nothing
+	// may move TO it, and no partition moves more than one replica.
+	seen := map[int]bool{}
+	for _, m := range r.LastMoves() {
+		if m.To == "n4-d0" {
+			t.Errorf("move %+v targets the removed device", m)
+		}
+		if seen[m.Partition] {
+			t.Errorf("partition %d moved more than one replica", m.Partition)
+		}
+		seen[m.Partition] = true
+	}
+	if _, ok := r.Stats()["n4-d0"]; ok {
+		t.Error("removed device still assigned partitions")
+	}
+}
+
+func TestRemoveNodeDevices(t *testing.T) {
+	r, _ := New(6, 3)
+	for n := 0; n < 4; n++ {
+		addDev(t, r, n, 0)
+		addDev(t, r, n, 1)
+	}
+	if got := r.RemoveNodeDevices("node3"); got != 2 {
+		t.Fatalf("removed %d devices, want 2", got)
+	}
+	if got := r.RemoveNodeDevices("node3"); got != 0 {
+		t.Fatalf("second removal removed %d", got)
+	}
+	if len(r.Devices()) != 6 {
+		t.Fatalf("devices left = %d", len(r.Devices()))
+	}
+}
+
+func TestUncommittedEpochGuard(t *testing.T) {
+	r, _ := New(6, 3)
+	for n := 0; n < 4; n++ {
+		addDev(t, r, n, 0)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	addDev(t, r, 4, 0)
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.LastMoves()) == 0 {
+		t.Fatal("adding a device to a 4-node ring should move partitions")
+	}
+	if !r.Migrating() {
+		t.Fatal("moves must open a migration window")
+	}
+	if err := r.Rebalance(); !errors.Is(err, ErrUncommittedEpoch) {
+		t.Fatalf("Rebalance during migration: %v, want ErrUncommittedEpoch", err)
+	}
+	r.CommitEpoch()
+	if r.Migrating() {
+		t.Fatal("CommitEpoch must close the window")
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatalf("Rebalance after commit: %v", err)
+	}
+}
+
+// Same device set registered in the same order, same operation sequence:
+// identical assignments and identical move diffs.
+func TestRebalanceDeterministicSequence(t *testing.T) {
+	build := func() *Ring {
+		r, _ := New(8, 3)
+		for n := 0; n < 5; n++ {
+			addDev(t, r, n, 0)
+			addDev(t, r, n, 1)
+		}
+		if err := r.Rebalance(); err != nil {
+			t.Fatal(err)
+		}
+		addDev(t, r, 5, 0)
+		if err := r.Rebalance(); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := build(), build()
+	ma, mb := a.LastMoves(), b.LastMoves()
+	if len(ma) != len(mb) {
+		t.Fatalf("move counts differ: %d vs %d", len(ma), len(mb))
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("move %d differs: %+v vs %+v", i, ma[i], mb[i])
+		}
+	}
+	for i := 0; i < 300; i++ {
+		path := fmt.Sprintf("/a/c/%d", i)
+		da, _ := a.Get(path)
+		db, _ := b.Get(path)
+		for rep := range da {
+			if da[rep].ID != db[rep].ID {
+				t.Fatalf("path %s replica %d differs", path, rep)
+			}
+		}
+	}
+}
+
+// Movement bound: one Rebalance after a single device add moves at most
+// one replica per partition — i.e. ≤ 1/replicas of all partition-replicas.
+func TestSingleAddMovementBound(t *testing.T) {
+	r, _ := New(10, 3)
+	for n := 0; n < 8; n++ {
+		addDev(t, r, n, 0)
+		addDev(t, r, n, 1)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	addDev(t, r, 8, 0)
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	moves := r.LastMoves()
+	if len(moves) == 0 {
+		t.Fatal("expected the new device to receive partitions")
+	}
+	if max := r.Partitions() * r.Replicas() / r.Replicas(); len(moves) > max {
+		t.Fatalf("moved %d replicas, bound is %d", len(moves), max)
+	}
+	seen := map[int]bool{}
+	toNew := 0
+	for _, m := range moves {
+		if seen[m.Partition] {
+			t.Fatalf("partition %d moved more than one replica in one epoch", m.Partition)
+		}
+		seen[m.Partition] = true
+		if m.To == "n8-d0" {
+			toNew++
+		}
+	}
+	// The bulk of the movement must be toward the new device (the voluntary
+	// pass may also fix residual greedy imbalance among the old devices).
+	if toNew*2 < len(moves) {
+		t.Errorf("only %d of %d moves landed on the new device", toNew, len(moves))
+	}
+}
+
+// Movement bound for a single-device removal on a disk-per-node cluster:
+// each partition held at most one replica on the removed device, so the
+// diff stays ≤ one replica per partition there too.
+func TestSingleRemoveMovementBound(t *testing.T) {
+	r, _ := New(10, 3)
+	for n := 0; n < 8; n++ {
+		addDev(t, r, n, 0)
+		addDev(t, r, n, 1)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveDevice("n3-d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	moves := r.LastMoves()
+	seen := map[int]bool{}
+	for _, m := range moves {
+		if seen[m.Partition] {
+			t.Fatalf("partition %d moved more than one replica", m.Partition)
+		}
+		seen[m.Partition] = true
+	}
+	if max := r.Partitions(); len(moves) > max {
+		t.Fatalf("moved %d replicas, bound is %d", len(moves), max)
+	}
+}
+
+// During a migration window NodesForRead is a superset of NodesFor
+// (old placements stay readable); after CommitEpoch they collapse.
+func TestNodesForReadUnion(t *testing.T) {
+	r, _ := New(8, 3)
+	for n := 0; n < 5; n++ {
+		addDev(t, r, n, 0)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	addDev(t, r, 5, 0)
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	sawExtra := false
+	for i := 0; i < 300; i++ {
+		path := fmt.Sprintf("/a/c/%d", i)
+		cur, _ := r.NodesFor(path)
+		union, _ := r.NodesForRead(path)
+		inUnion := map[string]bool{}
+		for _, n := range union {
+			inUnion[n] = true
+		}
+		for j, n := range cur {
+			if union[j] != n {
+				t.Fatalf("path %s: union must lead with the serving epoch", path)
+			}
+		}
+		if len(union) > len(cur) {
+			sawExtra = true
+		}
+	}
+	if !sawExtra {
+		t.Error("no path exposed an old placement during the window")
+	}
+	r.CommitEpoch()
+	for i := 0; i < 300; i++ {
+		path := fmt.Sprintf("/a/c/%d", i)
+		cur, _ := r.NodesFor(path)
+		union, _ := r.NodesForRead(path)
+		if len(cur) != len(union) {
+			t.Fatalf("path %s: union %v != cur %v after commit", path, union, cur)
+		}
+	}
+}
+
+// PartitionNodes / PrevPartitionNodes expose per-partition placement for
+// the migrator; the previous epoch is only visible during the window.
+func TestPartitionNodesAcrossEpochs(t *testing.T) {
+	r, _ := New(6, 3)
+	for n := 0; n < 4; n++ {
+		addDev(t, r, n, 0)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PrevPartitionNodes(0); got != nil {
+		t.Fatalf("prev placement outside a window: %v", got)
+	}
+	addDev(t, r, 4, 0)
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range r.LastMoves() {
+		cur := r.PartitionNodes(m.Partition)
+		prev := r.PrevPartitionNodes(m.Partition)
+		if len(cur) == 0 || len(prev) == 0 {
+			t.Fatalf("partition %d: cur=%v prev=%v", m.Partition, cur, prev)
+		}
+	}
+	if r.PartitionNodes(-1) != nil || r.PartitionNodes(r.Partitions()) != nil {
+		t.Error("out-of-range partition should yield nil")
+	}
+}
+
+// Repeated Rebalance+CommitEpoch cycles converge: the voluntary-move pass
+// eventually finds nothing to improve, and the final balance is sane even
+// though each epoch moved at most one replica per partition.
+func TestBalanceConvergesOverEpochs(t *testing.T) {
+	r, _ := New(8, 3)
+	for n := 0; n < 4; n++ {
+		addDev(t, r, n, 0)
+	}
+	if err := r.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	// Double the cluster, then let it converge one epoch at a time.
+	for n := 4; n < 8; n++ {
+		addDev(t, r, n, 0)
+	}
+	epochs := 0
+	for {
+		if err := r.Rebalance(); err != nil {
+			t.Fatal(err)
+		}
+		epochs++
+		if len(r.LastMoves()) == 0 {
+			break
+		}
+		r.CommitEpoch()
+		if epochs > 50 {
+			t.Fatal("rebalance did not converge in 50 epochs")
+		}
+	}
+	if b := r.Balance(); b > 1.25 {
+		t.Errorf("converged balance = %v, want <= 1.25", b)
+	}
+}
